@@ -1,0 +1,30 @@
+"""Shared helpers for the per-figure/table benchmark harness.
+
+Every bench regenerates one table or figure from the paper: it runs the
+experiment once inside ``benchmark.pedantic`` (so pytest-benchmark also
+reports the experiment's runtime), prints the rows the paper reports,
+and persists them under ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Instruction cap for pipeline-model runs inside benches: long enough
+#: for stable IPC, short enough that the full suite stays in minutes.
+PIPELINE_CAP = 100_000
+
+
+def emit(name, text):
+    """Print a result block and persist it for the experiment log."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1,
+                              warmup_rounds=0)

@@ -1,0 +1,20 @@
+"""Ablation B (paper Section 5.1 discussion): programs needing many
+unique streams to model their locality clone less accurately — the
+paper's explanation for susan being its worst case (66 streams vs an
+average of 18)."""
+
+from repro.evaluation import format_table, stream_count_table
+
+from _shared import emit, run_once
+
+
+def test_ablation_stream_count(benchmark):
+    rows = run_once(benchmark, stream_count_table)
+    emit("ablation_stream_count", format_table(
+        ["program", "unique streams", "cache pearson R"],
+        [[name, streams, corr] for name, streams, corr in rows],
+        float_format="{:+.3f}"))
+    # Sanity on the statistic itself: sorted, positive, varied.
+    streams = [row[1] for row in rows]
+    assert streams == sorted(streams, reverse=True)
+    assert streams[0] > streams[-1]

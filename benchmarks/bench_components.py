@@ -1,0 +1,69 @@
+"""Microbenchmarks of the framework's own components (real
+pytest-benchmark timing, multiple rounds): functional simulation,
+profiling, synthesis, cache simulation, and the pipeline model."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_clone, profile_trace
+from repro.core.synthesizer import SynthesisParameters
+from repro.sim import FunctionalSimulator, run_program
+from repro.uarch import BASE_CONFIG, CacheConfig, simulate_cache, simulate_pipeline
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def crc_program():
+    return build_workload("crc32")
+
+
+@pytest.fixture(scope="module")
+def crc_trace(crc_program):
+    return run_program(crc_program)
+
+
+@pytest.fixture(scope="module")
+def crc_profile(crc_trace):
+    return profile_trace(crc_trace)
+
+
+def test_functional_simulation_speed(benchmark, crc_program):
+    def run():
+        return FunctionalSimulator(crc_program).run()
+
+    executed = benchmark(run)
+    assert executed > 50_000
+
+
+def test_trace_capture_speed(benchmark, crc_program):
+    trace = benchmark(lambda: FunctionalSimulator(crc_program).run(trace=True))
+    assert len(trace) > 50_000
+
+
+def test_profiler_speed(benchmark, crc_trace):
+    profile = benchmark(lambda: profile_trace(crc_trace))
+    assert profile.total_instructions == len(crc_trace)
+
+
+def test_synthesis_speed(benchmark, crc_profile):
+    result = benchmark(
+        lambda: make_clone(crc_profile,
+                           SynthesisParameters(dynamic_instructions=50_000)))
+    assert len(result.program) > 100
+
+
+def test_cache_simulation_speed(benchmark, crc_trace):
+    addresses = crc_trace.memory_addresses()
+
+    def run():
+        return simulate_cache(addresses, CacheConfig(4096, 2, 32))
+
+    stats = benchmark(run)
+    assert stats.accesses == len(addresses)
+
+
+def test_pipeline_model_speed(benchmark, crc_trace):
+    result = benchmark(
+        lambda: simulate_pipeline(crc_trace, BASE_CONFIG,
+                                  max_instructions=50_000))
+    assert result.instructions == 50_000

@@ -1,0 +1,26 @@
+"""Figure 3: fraction of dynamic memory references explained by one
+stride per static load/store.  Paper: >= 0.90 for every benchmark,
+mostly > 0.95."""
+
+from repro.evaluation import format_table, stride_coverage_table
+
+from _shared import emit, run_once
+
+
+def test_fig3_stride_coverage(benchmark):
+    rows = run_once(benchmark, stride_coverage_table)
+    emit("fig3_stride_coverage", format_table(
+        ["program", "single-stride coverage"],
+        [[name, coverage] for name, coverage in rows],
+        float_format="{:.3f}"))
+    average = sum(coverage for _, coverage in rows) / len(rows)
+    # Paper: >= 0.90 per benchmark on its Alpha-compiled corpus.  Our
+    # kernels are heavier on table lookups (crc/blowfish/rijndael/
+    # patricia), which depresses single-stride coverage — the low-
+    # coverage ops are exactly what the memory model's scatter extension
+    # handles (see DESIGN.md).  Shape: regular kernels are near 1.0.
+    assert average > 0.65
+    assert all(coverage > 0.2 for _, coverage in rows)
+    regular = dict(rows)
+    for name in ("basicmath", "susan", "sha", "gsm", "typeset", "lame"):
+        assert regular[name] > 0.9

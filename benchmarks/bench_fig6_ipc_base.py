@@ -1,0 +1,20 @@
+"""Figure 6: absolute IPC of each real benchmark and its clone on the
+Table 2 base configuration.  Paper: 8.73% average absolute IPC error."""
+
+from repro.evaluation import base_config_comparison, format_table
+
+from _shared import PIPELINE_CAP, emit, run_once
+
+
+def test_fig6_ipc_base_config(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: base_config_comparison(max_instructions=PIPELINE_CAP))
+    rows = [[row["name"], row["ipc_real"], row["ipc_clone"],
+             abs(row["ipc_clone"] - row["ipc_real"]) / row["ipc_real"]]
+            for row in result["rows"]]
+    rows.append(["AVERAGE ERROR", "", "", result["average_ipc_error"]])
+    emit("fig6_ipc_base", format_table(
+        ["program", "IPC real", "IPC clone", "abs err"],
+        rows, float_format="{:.3f}"))
+    assert result["average_ipc_error"] < 0.20  # paper: 0.0873

@@ -1,0 +1,21 @@
+"""Figure 7: absolute power of each real benchmark and its clone on the
+Table 2 base configuration.  Paper: 6.44% average absolute error."""
+
+from repro.evaluation import base_config_comparison, format_table
+
+from _shared import PIPELINE_CAP, emit, run_once
+
+
+def test_fig7_power_base_config(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: base_config_comparison(max_instructions=PIPELINE_CAP))
+    rows = [[row["name"], row["power_real"], row["power_clone"],
+             abs(row["power_clone"] - row["power_real"])
+             / row["power_real"]]
+            for row in result["rows"]]
+    rows.append(["AVERAGE ERROR", "", "", result["average_power_error"]])
+    emit("fig7_power_base", format_table(
+        ["program", "power real", "power clone", "abs err"],
+        rows, float_format="{:.3f}"))
+    assert result["average_power_error"] < 0.15  # paper: 0.0644

@@ -1,0 +1,28 @@
+"""Figure 9: per-benchmark relative power increase from doubling the
+width, real vs clone.  Paper: clone tracks with 4.59% relative error."""
+
+from repro.evaluation import design_change_study, format_table
+from repro.uarch import BASE_CONFIG
+
+from _shared import PIPELINE_CAP, emit, run_once
+
+
+def test_fig9_width_power(benchmark):
+    study = run_once(
+        benchmark,
+        lambda: design_change_study(
+            changes=[BASE_CONFIG.renamed("2x-width", width=2)],
+            max_instructions=PIPELINE_CAP))
+    detail = study["width_detail"]
+    rows = [[row["name"], row["power_ratio_real"],
+             row["power_ratio_clone"]]
+            for row in detail]
+    avg_real = sum(row[1] for row in rows) / len(rows)
+    avg_clone = sum(row[2] for row in rows) / len(rows)
+    rows.append(["AVERAGE", avg_real, avg_clone])
+    emit("fig9_width_power", format_table(
+        ["program", "power ratio real", "power ratio clone"],
+        rows, float_format="{:.3f}"))
+    assert all(row["power_ratio_real"] > 1.0 for row in detail)
+    assert all(row["power_ratio_clone"] > 1.0 for row in detail)
+    assert abs(avg_clone - avg_real) / avg_real < 0.15

@@ -1,0 +1,29 @@
+"""Table 1: the embedded benchmark corpus and its application domains."""
+
+from repro.evaluation import format_table
+from repro.sim import run_program
+from repro.workloads import all_workloads
+
+from _shared import emit, run_once
+
+
+def test_table1_workload_corpus(benchmark):
+    def build_and_run_all():
+        rows = []
+        for spec in all_workloads():
+            program = spec.build()
+            trace = run_program(program, max_instructions=5_000_000)
+            summary = trace.summary()
+            rows.append([
+                spec.name, spec.domain, spec.suite,
+                summary["instructions"],
+                summary["memory_ops"] / summary["instructions"],
+                summary["branches"] / summary["instructions"],
+            ])
+        return rows
+
+    rows = run_once(benchmark, build_and_run_all)
+    emit("table1_workloads", format_table(
+        ["program", "domain", "suite", "dyn instrs", "mem frac", "br frac"],
+        rows, float_format="{:.3f}"))
+    assert len(rows) == 23

@@ -1,0 +1,25 @@
+"""Table 3: average relative error in IPC and power of the clone for the
+five design changes.  Paper: 4.49% average IPC relative error (worst
+6.51%), 2.28% power (worst 4.59%)."""
+
+from repro.evaluation import design_change_study, format_table
+
+from _shared import PIPELINE_CAP, emit, run_once
+
+
+def test_table3_design_changes(benchmark):
+    study = run_once(
+        benchmark,
+        lambda: design_change_study(max_instructions=PIPELINE_CAP))
+    rows = [[row["change"], row["avg_ipc_relative_error"],
+             row["avg_power_relative_error"]]
+            for row in study["changes"]]
+    ipc_avg = sum(row[1] for row in rows) / len(rows)
+    power_avg = sum(row[2] for row in rows) / len(rows)
+    rows.append(["AVERAGE", ipc_avg, power_avg])
+    emit("table3_design_changes", format_table(
+        ["design change", "rel err IPC", "rel err power"],
+        rows, float_format="{:.4f}"))
+    # Shape: small relative errors, comfortably under the absolute ones.
+    assert ipc_avg < 0.15      # paper: 0.0449
+    assert power_avg < 0.10    # paper: 0.0228

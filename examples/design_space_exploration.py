@@ -1,0 +1,61 @@
+"""Design-space exploration using clones in lieu of real applications.
+
+Walks the paper's five design changes (Section 5.2) plus two extra
+predictor options, for a pair of workloads, and reports how well each
+clone predicts the real speedup — the paper's relative-accuracy use case.
+
+    python examples/design_space_exploration.py
+"""
+
+from repro import build_workload, clone_program, run_program
+from repro.evaluation import format_table, relative_error
+from repro.uarch import (
+    BASE_CONFIG,
+    DESIGN_CHANGES,
+    estimate_power,
+    simulate_pipeline,
+)
+
+WORKLOADS = ("adpcm", "rijndael")
+
+EXTRA_POINTS = [
+    BASE_CONFIG.renamed("gshare-bpred", predictor="gshare"),
+    BASE_CONFIG.renamed("bimodal-bpred", predictor="bimodal"),
+]
+
+
+def main():
+    design_points = list(DESIGN_CHANGES) + EXTRA_POINTS
+    for name in WORKLOADS:
+        print(f"\n== {name} ==")
+        app = build_workload(name)
+        clone = clone_program(app)
+        real_trace = run_program(app)
+        clone_trace = run_program(clone.program)
+
+        base_real = simulate_pipeline(real_trace, BASE_CONFIG)
+        base_clone = simulate_pipeline(clone_trace, BASE_CONFIG)
+        rows = []
+        for config in design_points:
+            real = simulate_pipeline(real_trace, config)
+            synthetic = simulate_pipeline(clone_trace, config)
+            speedup_real = real.ipc / base_real.ipc
+            speedup_clone = synthetic.ipc / base_clone.ipc
+            error = relative_error(real.ipc, base_real.ipc,
+                                   synthetic.ipc, base_clone.ipc)
+            power_ratio = (estimate_power(synthetic, config)
+                           / estimate_power(base_clone, BASE_CONFIG))
+            rows.append([config.name, speedup_real, speedup_clone,
+                         error, power_ratio])
+        print(format_table(
+            ["design point", "speedup real", "speedup clone",
+             "rel err", "clone power x"],
+            rows, float_format="{:.3f}"))
+        winner_real = max(rows, key=lambda row: row[1])[0]
+        winner_clone = max(rows, key=lambda row: row[2])[0]
+        print(f"best design point: real says {winner_real!r}, "
+              f"clone says {winner_clone!r}")
+
+
+if __name__ == "__main__":
+    main()

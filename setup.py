@@ -1,0 +1,4 @@
+"""Shim so `pip install -e .` works without network access (no wheel pkg)."""
+from setuptools import setup
+
+setup()

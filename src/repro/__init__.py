@@ -1,0 +1,62 @@
+"""Performance Cloning — an IISWC 2006 reproduction.
+
+Clone the performance behaviour of a (proprietary) application into a
+synthetic benchmark built purely from microarchitecture-independent
+workload attributes.
+
+Quickstart::
+
+    from repro import build_workload, clone_program, run_program
+    from repro.uarch import BASE_CONFIG, simulate_pipeline
+
+    app = build_workload("qsort")          # the "proprietary" program
+    result = clone_program(app)            # profile + synthesize
+    real_trace = run_program(app)
+    clone_trace = run_program(result.program)
+    print(simulate_pipeline(real_trace, BASE_CONFIG).ipc,
+          simulate_pipeline(clone_trace, BASE_CONFIG).ipc)
+"""
+
+from repro.core import (
+    CloneSynthesizer,
+    MicroarchDependentSynthesizer,
+    StatisticalFlowGraph,
+    SynthesisParameters,
+    WorkloadProfile,
+    WorkloadProfiler,
+    clone_program,
+    emit_c_source,
+    make_clone,
+    profile_program,
+    profile_trace,
+)
+from repro.isa import AssemblerError, Instruction, Program, assemble, disassemble
+from repro.sim import DynamicTrace, FunctionalSimulator, run_program
+from repro.workloads import all_workloads, build_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssemblerError",
+    "CloneSynthesizer",
+    "DynamicTrace",
+    "FunctionalSimulator",
+    "Instruction",
+    "MicroarchDependentSynthesizer",
+    "Program",
+    "StatisticalFlowGraph",
+    "SynthesisParameters",
+    "WorkloadProfile",
+    "WorkloadProfiler",
+    "all_workloads",
+    "assemble",
+    "build_workload",
+    "clone_program",
+    "disassemble",
+    "emit_c_source",
+    "make_clone",
+    "profile_program",
+    "profile_trace",
+    "run_program",
+    "workload_names",
+]

@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the vendor/architect workflow:
+
+* ``list``      — show the workload corpus (Table 1);
+* ``profile``   — profile a workload (or ``.s`` file) to a JSON profile;
+* ``clone``     — synthesize a clone from a workload or a JSON profile,
+  writing the ``.s`` and C-with-asm artifacts;
+* ``compare``   — real vs clone IPC/power/miss rates on the base machine;
+* ``sweep``     — the 28-configuration cache study for one workload;
+* ``estimate``  — statistical-simulation IPC estimate from a profile.
+"""
+
+import argparse
+import os
+import sys
+
+from repro.core import (
+    SynthesisParameters,
+    WorkloadProfile,
+    emit_c_source,
+    make_clone,
+    profile_trace,
+)
+from repro.evaluation import format_table, pearson, rank_vector
+from repro.isa import assemble
+from repro.sim import run_program
+from repro.uarch import BASE_CONFIG, CACHE_SWEEP, estimate_power, simulate_cache, simulate_pipeline
+from repro.workloads import all_workloads, build_workload, workload_names
+
+
+def _load_program(target):
+    """A workload name, or a path to an SRISC assembly file."""
+    if target in workload_names():
+        return build_workload(target)
+    if os.path.exists(target):
+        with open(target) as handle:
+            return assemble(handle.read(),
+                            name=os.path.basename(target))
+    raise SystemExit(f"error: {target!r} is neither a workload name nor "
+                     "an assembly file (see `repro list`)")
+
+
+def _load_profile(target):
+    """A workload name, or a path to a saved profile JSON."""
+    if target.endswith(".json") and os.path.exists(target):
+        return WorkloadProfile.load(target)
+    program = _load_program(target)
+    return profile_trace(run_program(program))
+
+
+def cmd_list(args):
+    rows = [[spec.name, spec.domain, spec.suite, spec.description]
+            for spec in all_workloads()]
+    print(format_table(["workload", "domain", "suite", "description"],
+                       rows))
+    return 0
+
+
+def cmd_profile(args):
+    profile = _load_profile(args.target)
+    output = args.output or f"{profile.name}.profile.json"
+    profile.save(output)
+    print(f"wrote {output}")
+    print(f"  instructions: {profile.total_instructions}")
+    print(f"  memory ops:   {profile.total_memory_ops}")
+    print(f"  branches:     {profile.total_branches}")
+    print(f"  footprint:    {profile.data_footprint_bytes} bytes")
+    print(f"  stride cov.:  {profile.stride_coverage:.3f}")
+    return 0
+
+
+def cmd_clone(args):
+    profile = _load_profile(args.target)
+    parameters = SynthesisParameters(
+        dynamic_instructions=args.instructions, seed=args.seed,
+        footprint_scale=args.footprint_scale)
+    result = make_clone(profile, parameters)
+    outdir = args.output_dir
+    os.makedirs(outdir, exist_ok=True)
+    asm_path = os.path.join(outdir, f"{profile.name}.clone.s")
+    c_path = os.path.join(outdir, f"{profile.name}.clone.c")
+    with open(asm_path, "w") as handle:
+        handle.write(result.asm_source)
+    with open(c_path, "w") as handle:
+        handle.write(emit_c_source(result.program))
+    print(f"wrote {asm_path} and {c_path}")
+    stats = result.stats
+    print(f"  block instances: {stats['block_instances']}")
+    print(f"  loop iterations: {stats['iterations']}")
+    print(f"  footprint:       {stats['footprint_bytes']} bytes "
+          f"(target {stats['footprint_target']})")
+    return 0
+
+
+def cmd_compare(args):
+    program = _load_program(args.target)
+    real_trace = run_program(program)
+    profile = profile_trace(real_trace)
+    result = make_clone(profile, SynthesisParameters(
+        dynamic_instructions=args.instructions, seed=args.seed))
+    clone_trace = run_program(result.program)
+    real = simulate_pipeline(real_trace, BASE_CONFIG)
+    clone = simulate_pipeline(clone_trace, BASE_CONFIG)
+    rows = [
+        ["IPC", real.ipc, clone.ipc],
+        ["power", estimate_power(real), estimate_power(clone)],
+        ["L1D miss rate", real.dcache_miss_rate, clone.dcache_miss_rate],
+        ["bpred miss rate", real.branch_misprediction_rate,
+         clone.branch_misprediction_rate],
+    ]
+    print(format_table(["metric", "real", "clone"], rows,
+                       float_format="{:.4f}"))
+    return 0
+
+
+def cmd_sweep(args):
+    program = _load_program(args.target)
+    real_trace = run_program(program)
+    profile = profile_trace(real_trace)
+    result = make_clone(profile, SynthesisParameters(
+        dynamic_instructions=args.instructions, seed=args.seed))
+    clone_trace = run_program(result.program)
+    real_addresses = real_trace.memory_addresses()
+    clone_addresses = clone_trace.memory_addresses()
+    real_mpi, clone_mpi, rows = [], [], []
+    for config in CACHE_SWEEP:
+        real_value = simulate_cache(real_addresses, config).misses \
+            / len(real_trace)
+        clone_value = simulate_cache(clone_addresses, config).misses \
+            / len(clone_trace)
+        real_mpi.append(real_value)
+        clone_mpi.append(clone_value)
+        rows.append([config.label(), real_value, clone_value])
+    print(format_table(["config", "real MPI", "clone MPI"], rows,
+                       float_format="{:.5f}"))
+    correlation = pearson([v - real_mpi[0] for v in real_mpi[1:]],
+                          [v - clone_mpi[0] for v in clone_mpi[1:]])
+    ranks = pearson(rank_vector(real_mpi), rank_vector(clone_mpi))
+    print(f"\npearson R (relative MPI): {correlation:+.3f}")
+    print(f"ranking correlation:      {ranks:+.3f}")
+    return 0
+
+
+def cmd_estimate(args):
+    from repro.statsim import statistical_ipc_estimate
+    profile = _load_profile(args.target)
+    ipc = statistical_ipc_estimate(profile, BASE_CONFIG,
+                                   n_instructions=args.instructions)
+    print(f"statistical IPC estimate (base config): {ipc:.3f}")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Performance cloning (IISWC 2006 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show the workload corpus")
+
+    def common(p, with_output_dir=False):
+        p.add_argument("target",
+                       help="workload name, .s file, or profile .json")
+        p.add_argument("--instructions", type=int, default=120_000,
+                       help="clone/synthetic dynamic instruction target")
+        p.add_argument("--seed", type=int, default=42)
+        if with_output_dir:
+            p.add_argument("-o", "--output-dir", default="clone_out")
+
+    p = sub.add_parser("profile", help="save a JSON workload profile")
+    p.add_argument("target")
+    p.add_argument("-o", "--output", default=None)
+
+    p = sub.add_parser("clone", help="synthesize a benchmark clone")
+    common(p, with_output_dir=True)
+    p.add_argument("--footprint-scale", type=float, default=1.0)
+
+    common(sub.add_parser("compare",
+                          help="real vs clone on the base machine"))
+    common(sub.add_parser("sweep", help="28-config cache design study"))
+    common(sub.add_parser("estimate",
+                          help="statistical-simulation IPC estimate"))
+    return parser
+
+
+_HANDLERS = {
+    "list": cmd_list, "profile": cmd_profile, "clone": cmd_clone,
+    "compare": cmd_compare, "sweep": cmd_sweep, "estimate": cmd_estimate,
+}
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Performance cloning — the paper's primary contribution.
+
+Two halves, matching Figure 1 of the paper:
+
+* **Profiling** (:class:`WorkloadProfiler`): measure microarchitecture-
+  independent attributes of a program's dynamic trace — statistical flow
+  graph, instruction mix, dependency-distance distribution, per-static-
+  memop stride streams, and per-static-branch taken/transition rates.
+* **Synthesis** (:class:`CloneSynthesizer` / :func:`clone_program`): emit a
+  synthetic benchmark whose code is entirely different but whose measured
+  attributes match, so it performs like the original across
+  microarchitectures.
+"""
+
+from repro.core.profile import (
+    BlockStats,
+    BranchStats,
+    ContextStats,
+    DEP_BUCKETS,
+    MemOpStats,
+    WorkloadProfile,
+)
+from repro.core.profiler import WorkloadProfiler, profile_program, profile_trace
+from repro.core.sfg import StatisticalFlowGraph
+from repro.core.synthesizer import CloneSynthesizer, SynthesisParameters
+from repro.core.cloning import clone_program, make_clone
+from repro.core.codegen import emit_c_source
+from repro.core.baseline import MicroarchDependentSynthesizer
+
+__all__ = [
+    "BlockStats",
+    "BranchStats",
+    "CloneSynthesizer",
+    "ContextStats",
+    "DEP_BUCKETS",
+    "MemOpStats",
+    "MicroarchDependentSynthesizer",
+    "StatisticalFlowGraph",
+    "SynthesisParameters",
+    "WorkloadProfile",
+    "WorkloadProfiler",
+    "clone_program",
+    "emit_c_source",
+    "make_clone",
+    "profile_program",
+    "profile_trace",
+]

@@ -1,0 +1,173 @@
+"""Microarchitecture-*dependent* workload synthesis — the prior art.
+
+This is the comparison point the paper argues against (Sections 1-3,
+citing Bell & John [24]): instead of modelling inherent locality and
+predictability, synthesize memory accesses to hit a *target cache miss
+rate* and branches to hit a *target misprediction rate*, both measured on
+one specific ("profiled") configuration.
+
+Memory: a fraction ``miss_rate`` of all references walk a streaming
+region far larger than the profiled cache (always missing), while the
+rest walk a resident buffer sized to half the profiled cache (always
+hitting).  This matches the target miss rate on the profiled
+configuration and, exactly as the paper observes, yields large errors
+the moment cache geometry changes.
+
+Branches: a fraction ``2 × mispredict_rate`` of static branches get a
+hash-of-counter pseudo-random direction (≈50% mispredicted on any
+predictor) and the rest are constant-direction (≈0%), matching the
+target on the profiled predictor only.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.memory_model import StreamCluster
+from repro.core.synthesizer import CloneSynthesizer
+
+
+@dataclass(frozen=True)
+class HashBranchPattern:
+    """Pseudo-random direction via a multiplicative hash of the counter."""
+
+    multiplier: int
+    shift: int
+
+    kind = "hash"
+
+    def direction(self, iteration):
+        hashed = (iteration * self.multiplier) & 0xFFFFFFFF
+        return (hashed >> self.shift) & 1
+
+    def emit(self, label, counter_reg="r1", scratch_reg="r3"):
+        return [
+            f"    li {scratch_reg}, {self.multiplier}",
+            f"    mul {scratch_reg}, {counter_reg}, {scratch_reg}",
+            f"    srli {scratch_reg}, {scratch_reg}, {self.shift}",
+            f"    andi {scratch_reg}, {scratch_reg}, 1",
+            f"    bne {scratch_reg}, r0, {label}",
+        ]
+
+
+class _TargetMissPlan:
+    """Two-cluster plan: a resident (hit) and a streaming (miss) region.
+
+    Unlike :class:`repro.core.memory_model.StreamPlan`, every generated
+    memop instance gets its own private slot — the goal is matching a
+    miss *rate*, not modelling inherent streams.
+    """
+
+    HIT, MISS = 0, 1
+    MISS_RESET = 256
+    MAX_MISS_SLOTS = 120  # bound the streaming region to ~2 MB
+
+    def __init__(self, miss_rate, cache_bytes, line_bytes):
+        self.miss_rate = miss_rate
+        self.cache_bytes = cache_bytes
+        self.line_bytes = line_bytes
+        self.clusters = [
+            StreamCluster(index=0, stride=4, sweep_once=False,
+                          mean_stream_length=8.0, weight=1, advance=4,
+                          symbol="resident"),
+            StreamCluster(index=1, stride=2 * line_bytes, sweep_once=False,
+                          mean_stream_length=8.0, weight=1,
+                          advance=2 * line_bytes, symbol="streaming"),
+        ]
+        self._counts = [0, 0]
+        self._accumulator = 0.0
+
+    def allocate(self, pc, rng=None):
+        # Largest-remainder assignment hits the target fraction exactly
+        # (binomial sampling would miss it on small clones).
+        self._accumulator += self.miss_rate
+        if self._accumulator >= 1.0:
+            self._accumulator -= 1.0
+            index = self.MISS
+        else:
+            index = self.HIT
+        instance = self._counts[index]
+        self._counts[index] += 1
+        return (index, instance)
+
+    def finalize(self, estimated_iterations=None):
+        """Size regions against the *profiled* cache — the whole point."""
+        hit = self.clusters[self.HIT]
+        if self._counts[self.HIT]:
+            budget = max(64, self.cache_bytes // 2)
+            hit.reset_period = max(2, (budget // 4) // abs(hit.stride))
+            self._hit_usable = max(32, budget
+                                   - abs(hit.stride) * hit.reset_period - 16)
+            hit.region = (budget + 15) & ~7
+        miss = self.clusters[self.MISS]
+        if self._counts[self.MISS]:
+            miss.reset_period = self.MISS_RESET
+            span = abs(miss.stride) * miss.reset_period + 16
+            self._miss_span = (span + 7) & ~7
+            slots = min(self._counts[self.MISS], self.MAX_MISS_SLOTS)
+            miss.region = slots * self._miss_span
+        return 1.0
+
+    def locate(self, handle):
+        index, instance = handle
+        if index == self.HIT:
+            return index, (instance * 8) % self._hit_usable
+        return index, (instance % self.MAX_MISS_SLOTS) * self._miss_span
+
+    def active_clusters(self):
+        return [cluster for index, cluster in enumerate(self.clusters)
+                if self._counts[index]]
+
+    def data_directives(self):
+        lines = []
+        for cluster in self.active_clusters():
+            lines.append("    .align 8")
+            lines.append(f"{cluster.symbol}:    .space "
+                         f"{cluster.region_bytes()}")
+        return lines
+
+    def total_footprint(self):
+        return sum(cluster.region for cluster in self.active_clusters())
+
+
+class MicroarchDependentSynthesizer(CloneSynthesizer):
+    """Bell & John-style synthesis against one profiled configuration.
+
+    ``target_miss_rate`` and ``target_mispredict_rate`` are the rates the
+    original workload exhibits on the profiled cache/predictor (measure
+    them with :mod:`repro.uarch`); ``profiled_cache_bytes`` and
+    ``profiled_line_bytes`` pin the configuration the synthetic workload
+    is tuned to.
+    """
+
+    use_alias_pairing = False
+
+    def __init__(self, profile, target_miss_rate, target_mispredict_rate,
+                 profiled_cache_bytes=16 * 1024, profiled_line_bytes=32,
+                 parameters=None):
+        super().__init__(profile, parameters)
+        self.target_miss_rate = min(1.0, max(0.0, target_miss_rate))
+        self.target_mispredict_rate = min(
+            0.5, max(0.0, target_mispredict_rate))
+        self.profiled_cache_bytes = profiled_cache_bytes
+        self.profiled_line_bytes = profiled_line_bytes
+        self._hash_seed = 0
+
+    def _make_stream_plan(self):
+        return _TargetMissPlan(self.target_miss_rate,
+                               self.profiled_cache_bytes,
+                               self.profiled_line_bytes)
+
+    def _branch_pattern(self, branch_stats, rng):
+        """Random-direction for 2·mispredict of branches, constant else.
+
+        A random branch mispredicts ~50% on any history predictor and a
+        constant one ~0%, so a ``2 m`` random fraction matches an overall
+        rate ``m`` — on the profiled predictor.
+        """
+        if rng.random() < 2.0 * self.target_mispredict_rate:
+            self._hash_seed += 1
+            multiplier = (2654435761 + 2 * self._hash_seed) & 0x7FFF
+            shift = 7 + (self._hash_seed % 11)
+            return HashBranchPattern(multiplier=multiplier | 1, shift=shift)
+        taken = branch_stats.taken_rate >= 0.5 if branch_stats else True
+        from repro.core.branch_model import BranchPattern
+        return BranchPattern(kind="taken" if taken else "not_taken")

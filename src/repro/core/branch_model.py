@@ -1,0 +1,153 @@
+"""Microarchitecture-independent control-flow-predictability model
+(paper Sections 3.1.5 and 3.2 step 5).
+
+Each generated basic block ends in a conditional branch whose direction
+sequence reproduces the profiled static branch's *transition rate* (and,
+secondarily, its taken rate).  The mechanism is the paper's: a modulo of
+the loop-iteration counter steers the branch.  We use a power-of-two
+modulo so it costs one ``andi`` plus one ``slti``:
+
+    tmp   = counter & (M - 1)
+    cond  = tmp < K            # 1 => taken
+    bne cond, r0, <next line>
+
+which yields a periodic pattern of K taken followed by M-K not-taken —
+transition rate ≈ 2/M and taken rate ≈ K/M.
+"""
+
+from dataclasses import dataclass
+
+#: Transition rates below this are "always one direction".
+CONSTANT_THRESHOLD = 0.02
+
+#: Largest modulo period (=> smallest non-zero transition rate ≈ 2/256).
+MAX_PERIOD = 256
+
+
+#: Seed of the clone's shared xorshift32 register (r31), updated once per
+#: loop iteration in the tail.
+RNG_SEED = 0x2545F491
+
+
+def xorshift32(state):
+    """One xorshift32 step, exactly as the clone's tail computes it."""
+    state ^= (state << 13) & 0xFFFFFFFF
+    state ^= state >> 17
+    state ^= (state << 5) & 0xFFFFFFFF
+    return state & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class BranchPattern:
+    """Realizable direction pattern for one synthetic branch.
+
+    ``modulo`` yields a periodic run pattern; ``random`` tests a 3-bit
+    window of the clone's shared per-iteration xorshift register, giving
+    genuinely hard-to-predict directions with P(taken) = threshold / 8.
+    """
+
+    kind: str  # "taken", "not_taken", "modulo", or "random"
+    period: int = 0  # M (power of two) for "modulo"
+    threshold: int = 0  # K for "modulo"; eighths for "random"
+    shift: int = 0  # bit window position for "random"
+
+    def direction(self, iteration, rng_state=None):
+        """Ground-truth direction for a loop iteration (used in tests).
+
+        For "random" patterns pass the xorshift state as seen by that
+        iteration (``RNG_SEED`` stepped ``iteration`` times), or let the
+        helper recompute it (O(iteration)).
+        """
+        if self.kind == "taken":
+            return 1
+        if self.kind == "not_taken":
+            return 0
+        if self.kind == "random":
+            if rng_state is None:
+                rng_state = RNG_SEED
+                for _ in range(iteration):
+                    rng_state = xorshift32(rng_state)
+            return 1 if ((rng_state >> self.shift) & 7) < self.threshold \
+                else 0
+        return 1 if (iteration & (self.period - 1)) < self.threshold else 0
+
+    def expected_transition_rate(self):
+        if self.kind == "modulo":
+            return 2.0 / self.period
+        if self.kind == "random":
+            probability = self.threshold / 8.0
+            return 2.0 * probability * (1.0 - probability)
+        return 0.0
+
+    def expected_taken_rate(self):
+        if self.kind == "taken":
+            return 1.0
+        if self.kind == "not_taken":
+            return 0.0
+        if self.kind == "random":
+            return self.threshold / 8.0
+        return self.threshold / self.period
+
+
+def _round_power_of_two(value, minimum=2, maximum=MAX_PERIOD):
+    value = max(minimum, min(maximum, value))
+    lower = 1 << (int(value).bit_length() - 1)
+    upper = lower * 2
+    chosen = lower if value - lower <= upper - value else upper
+    return max(minimum, min(maximum, chosen))
+
+
+def pattern_for(taken_rate, transition_rate, random_shift=0):
+    """Choose the pattern realizing the profiled rates (paper step 5).
+
+    Very low transition rates become constant-direction branches.  A
+    transition rate consistent with *independent* outcomes (t ≈ 2p(1-p))
+    means the branch's direction sequence carries no structure, so it is
+    realized from the clone's per-iteration random register — a periodic
+    pattern there would be artificially easy to predict.  Everything else
+    becomes the modulo pattern with period ≈ 2/t and threshold ≈ p·M.
+    """
+    if transition_rate <= CONSTANT_THRESHOLD:
+        if taken_rate >= 0.5:
+            return BranchPattern(kind="taken")
+        return BranchPattern(kind="not_taken")
+
+    independent_rate = 2.0 * taken_rate * (1.0 - taken_rate)
+    if (independent_rate > 0.05 and 0.15 <= taken_rate <= 0.85
+            and 0.5 <= transition_rate / independent_rate <= 1.6):
+        threshold = max(1, min(7, round(8.0 * taken_rate)))
+        shift = (random_shift * 5) % 29
+        return BranchPattern(kind="random", threshold=threshold, shift=shift)
+
+    period = _round_power_of_two(
+        round(2.0 / max(transition_rate, 2.0 / MAX_PERIOD)))
+    threshold = round(period * taken_rate)
+    threshold = max(1, min(period - 1, threshold))
+    return BranchPattern(kind="modulo", period=period, threshold=threshold)
+
+
+def emit_branch(pattern, label, counter_reg="r1", scratch_reg="r3",
+                rng_reg="r31"):
+    """Assembly lines for one synthetic block-terminating branch.
+
+    The branch target is the immediately following line (``label``), so
+    control flow is identical either way — only the *direction* sequence
+    seen by branch predictors varies, which is exactly what the model has
+    to reproduce.
+    """
+    if pattern.kind == "taken":
+        return [f"    beq r0, r0, {label}"]
+    if pattern.kind == "not_taken":
+        return [f"    bne r0, r0, {label}"]
+    if pattern.kind == "random":
+        return [
+            f"    srli {scratch_reg}, {rng_reg}, {pattern.shift}",
+            f"    andi {scratch_reg}, {scratch_reg}, 7",
+            f"    slti {scratch_reg}, {scratch_reg}, {pattern.threshold}",
+            f"    bne {scratch_reg}, r0, {label}",
+        ]
+    return [
+        f"    andi {scratch_reg}, {counter_reg}, {pattern.period - 1}",
+        f"    slti {scratch_reg}, {scratch_reg}, {pattern.threshold}",
+        f"    bne {scratch_reg}, r0, {label}",
+    ]

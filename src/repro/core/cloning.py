@@ -1,0 +1,27 @@
+"""One-call performance-cloning API (paper Figure 1, end to end)."""
+
+from repro.core.profiler import profile_program, profile_trace
+from repro.core.synthesizer import CloneSynthesizer, SynthesisParameters
+
+
+def make_clone(profile, parameters=None):
+    """Synthesize a clone from an existing workload profile."""
+    return CloneSynthesizer(profile, parameters).synthesize()
+
+
+def clone_program(program, parameters=None, max_instructions=50_000_000):
+    """Profile ``program`` and synthesize its clone in one step.
+
+    This is the whole pipeline of Figure 1: functional execution →
+    microarchitecture-independent profile → synthetic benchmark clone.
+    Returns a :class:`repro.core.synthesizer.CloneResult`; the executable
+    clone is ``result.program`` and the shareable source is
+    ``result.asm_source``.
+    """
+    profile = profile_program(program, max_instructions=max_instructions)
+    return make_clone(profile, parameters)
+
+
+def clone_trace(trace, parameters=None):
+    """Clone directly from a captured dynamic trace."""
+    return make_clone(profile_trace(trace), parameters)

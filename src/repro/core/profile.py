@@ -1,0 +1,221 @@
+"""The microarchitecture-independent workload profile (paper Section 3.1).
+
+Every attribute here is a property of the program's *functional* execution
+only — nothing depends on caches, predictors, or pipeline geometry.  The
+profile is JSON-serializable so a vendor can ship it (or the clone built
+from it) instead of the proprietary binary.
+"""
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.isa.instructions import IClass
+
+#: Dependency-distance bucket upper bounds, matching the paper's Section
+#: 3.1.3 categories: 1, <=2, <=4, <=6, <=8, <=16, <=32, >32.
+DEP_BUCKETS = (1, 2, 4, 6, 8, 16, 32)
+NUM_DEP_BUCKETS = len(DEP_BUCKETS) + 1
+
+
+def dep_bucket(distance):
+    """Map a producer→consumer distance (in instructions) to its bucket."""
+    for index, bound in enumerate(DEP_BUCKETS):
+        if distance <= bound:
+            return index
+    return len(DEP_BUCKETS)
+
+
+def bucket_representative(bucket):
+    """A concrete distance to realize when synthesizing from a bucket."""
+    representatives = (1, 2, 3, 5, 7, 12, 24, 48)
+    return representatives[bucket]
+
+
+@dataclass
+class MemOpStats:
+    """Stride-stream statistics for one static load or store.
+
+    ``dominant_stride`` is the most frequent address delta between
+    consecutive executions of this static instruction; ``coverage`` is the
+    fraction of its dynamic references the single-stride model explains
+    (the paper's Figure 3 metric); ``mean_stream_length`` is the average
+    run of consecutive dominant-stride accesses.
+    """
+
+    pc: int
+    is_store: bool
+    count: int
+    dominant_stride: int
+    coverage: float
+    mean_stream_length: float
+    distinct_strides: int
+    footprint_bytes: int
+    first_address: int = 0
+    last_address: int = 0
+    #: Fraction of successive-access deltas within one cache line (32B);
+    #: distinguishes locally-wandering ops from true scatter lookups.
+    local_fraction: float = 1.0
+    #: pc of a load in the same basic block whose address sequence this
+    #: store reproduces (read-modify-write pairing), or -1.
+    alias_of: int = -1
+
+
+@dataclass
+class BranchStats:
+    """Per-static-branch behaviour (paper Section 3.1.5)."""
+
+    pc: int
+    count: int
+    taken_rate: float
+    transition_rate: float
+
+
+@dataclass
+class BlockStats:
+    """One statistical-flow-graph node: a basic block plus dynamic counts."""
+
+    bid: int
+    size: int
+    visits: int
+    mix: list  # instruction-class counts, length IClass.COUNT
+    mem_pcs: list  # static pcs of loads/stores inside the block
+    branch_pc: int  # pc of terminating conditional branch, or -1
+
+
+@dataclass
+class ContextStats:
+    """Per (predecessor, successor) statistics (paper Section 3.1.1).
+
+    Workload characteristics are kept per unique *pair* of blocks because
+    a block's dynamic behaviour depends on the context it was entered
+    from.  The dependency-distance histogram is the context-sensitive
+    attribute that benefits most.
+    """
+
+    pred: int
+    block: int
+    visits: int
+    dep_hist: list  # counts per DEP bucket, length NUM_DEP_BUCKETS
+
+
+@dataclass
+class WorkloadProfile:
+    """Everything the synthesizer needs, and nothing the vendor must hide."""
+
+    name: str
+    total_instructions: int
+    total_memory_ops: int
+    total_branches: int
+    global_mix: list = field(default_factory=lambda: [0] * IClass.COUNT)
+    global_dep_hist: list = field(
+        default_factory=lambda: [0] * NUM_DEP_BUCKETS)
+    blocks: dict = field(default_factory=dict)  # bid -> BlockStats
+    transitions: dict = field(default_factory=dict)  # (pred,succ) -> count
+    contexts: dict = field(default_factory=dict)  # (pred,succ) -> ContextStats
+    mem_ops: dict = field(default_factory=dict)  # pc -> MemOpStats
+    branches: dict = field(default_factory=dict)  # pc -> BranchStats
+    data_footprint_bytes: int = 0
+    stride_coverage: float = 1.0  # Figure 3 metric, reference-weighted
+    unique_streams: int = 0
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def mix_fractions(self):
+        """Global instruction-class mix as fractions summing to 1."""
+        total = sum(self.global_mix)
+        if total == 0:
+            return [0.0] * IClass.COUNT
+        return [count / total for count in self.global_mix]
+
+    def mean_basic_block_size(self):
+        """Dynamic average basic-block size (instructions per block visit)."""
+        visits = sum(stats.visits for stats in self.blocks.values())
+        if visits == 0:
+            return 0.0
+        return self.total_instructions / visits
+
+    def dep_fractions(self):
+        total = sum(self.global_dep_hist)
+        if total == 0:
+            return [0.0] * NUM_DEP_BUCKETS
+        return [count / total for count in self.global_dep_hist]
+
+    def hot_blocks(self, limit=None):
+        """Block ids sorted by dynamic execution weight, hottest first."""
+        ranked = sorted(self.blocks.values(),
+                        key=lambda stats: stats.visits * stats.size,
+                        reverse=True)
+        if limit is not None:
+            ranked = ranked[:limit]
+        return [stats.bid for stats in ranked]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "total_instructions": self.total_instructions,
+            "total_memory_ops": self.total_memory_ops,
+            "total_branches": self.total_branches,
+            "global_mix": list(self.global_mix),
+            "global_dep_hist": list(self.global_dep_hist),
+            "blocks": {str(bid): asdict(stats)
+                       for bid, stats in self.blocks.items()},
+            "transitions": {f"{pred}:{succ}": count
+                            for (pred, succ), count in self.transitions.items()},
+            "contexts": {f"{pred}:{succ}": asdict(stats)
+                         for (pred, succ), stats in self.contexts.items()},
+            "mem_ops": {str(pc): asdict(stats)
+                        for pc, stats in self.mem_ops.items()},
+            "branches": {str(pc): asdict(stats)
+                         for pc, stats in self.branches.items()},
+            "data_footprint_bytes": self.data_footprint_bytes,
+            "stride_coverage": self.stride_coverage,
+            "unique_streams": self.unique_streams,
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        def pair(key):
+            pred, succ = key.split(":")
+            return int(pred), int(succ)
+
+        return cls(
+            name=payload["name"],
+            total_instructions=payload["total_instructions"],
+            total_memory_ops=payload["total_memory_ops"],
+            total_branches=payload["total_branches"],
+            global_mix=list(payload["global_mix"]),
+            global_dep_hist=list(payload["global_dep_hist"]),
+            blocks={int(bid): BlockStats(**stats)
+                    for bid, stats in payload["blocks"].items()},
+            transitions={pair(key): count
+                         for key, count in payload["transitions"].items()},
+            contexts={pair(key): ContextStats(**stats)
+                      for key, stats in payload["contexts"].items()},
+            mem_ops={int(pc): MemOpStats(**stats)
+                     for pc, stats in payload["mem_ops"].items()},
+            branches={int(pc): BranchStats(**stats)
+                      for pc, stats in payload["branches"].items()},
+            data_footprint_bytes=payload["data_footprint_bytes"],
+            stride_coverage=payload["stride_coverage"],
+            unique_streams=payload["unique_streams"],
+        )
+
+    def to_json(self, indent=None):
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text):
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path):
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path):
+        with open(path) as handle:
+            return cls.from_json(handle.read())

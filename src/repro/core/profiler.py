@@ -1,0 +1,320 @@
+"""Microarchitecture-independent workload characterization (Section 3.1).
+
+The profiler makes a single pass over the compact dynamic trace, almost
+entirely with vectorized numpy, and produces a
+:class:`repro.core.profile.WorkloadProfile`.
+
+Measured attributes:
+
+* statistical flow graph — basic-block visit counts and transition counts
+  (Section 3.1.1), with dependency distances kept per (predecessor,
+  successor) context;
+* instruction mix per class (Section 3.1.2);
+* register dependency-distance distribution in the paper's buckets
+  (Section 3.1.3);
+* per-static-load/store dominant stride, coverage, and stream length
+  (Section 3.1.4) plus the global Figure 3 coverage metric;
+* per-static-branch taken rate and transition rate (Section 3.1.5).
+"""
+
+import numpy as np
+
+from repro.core.profile import (
+    DEP_BUCKETS,
+    NUM_DEP_BUCKETS,
+    BlockStats,
+    BranchStats,
+    ContextStats,
+    MemOpStats,
+    WorkloadProfile,
+)
+from repro.isa.instructions import IClass
+from repro.isa.registers import ZERO_REG
+from repro.sim.functional import run_program
+
+#: Minimum dynamic executions for a static memop to count as a "stream"
+#: in the unique-stream statistic (the paper's susan discussion).
+STREAM_MIN_EXECUTIONS = 8
+
+
+class WorkloadProfiler:
+    """Configurable profiler; ``profile`` is the main entry point."""
+
+    def __init__(self, footprint_granularity=4):
+        self.footprint_granularity = footprint_granularity
+
+    # ------------------------------------------------------------------
+    def profile(self, trace):
+        """Characterize one dynamic trace into a WorkloadProfile."""
+        program = trace.program
+        pcs = trace.pcs
+        profile = WorkloadProfile(
+            name=program.name,
+            total_instructions=len(pcs),
+            total_memory_ops=int(np.count_nonzero(trace.addrs >= 0)),
+            total_branches=int(np.count_nonzero(trace.taken >= 0)),
+        )
+
+        tables = _StaticTables(program)
+        dyn_class = tables.iclass[pcs]
+        profile.global_mix = np.bincount(
+            dyn_class, minlength=IClass.COUNT).tolist()
+
+        ctx_of_instr, visit_blocks = self._flow_graph(
+            profile, tables, pcs, program)
+        self._dependencies(profile, tables, pcs, ctx_of_instr, visit_blocks,
+                           program)
+        self._memory_streams(profile, trace)
+        self._branch_behaviour(profile, trace)
+        profile.data_footprint_bytes = (
+            trace.data_footprint(self.footprint_granularity)
+            * self.footprint_granularity)
+        return profile
+
+    # ------------------------------------------------------------------
+    def _flow_graph(self, profile, tables, pcs, program):
+        """Build SFG nodes/edges; returns per-instr context ids and visits."""
+        starts_mask = tables.is_block_start[pcs]
+        visit_blocks = tables.block_of[pcs[starts_mask]]
+        visit_of_instr = np.cumsum(starts_mask) - 1
+        n_blocks = len(program.basic_blocks())
+
+        visit_counts = np.bincount(visit_blocks, minlength=n_blocks)
+        for block in program.basic_blocks():
+            visits = int(visit_counts[block.bid])
+            if visits == 0:
+                continue
+            mix = [0] * IClass.COUNT
+            mem_pcs = []
+            branch_pc = -1
+            for index in range(block.start, block.end):
+                instr = program.instructions[index]
+                mix[instr.iclass] += 1
+                if instr.is_mem:
+                    mem_pcs.append(index)
+                if instr.is_cond_branch:
+                    branch_pc = index
+            profile.blocks[block.bid] = BlockStats(
+                bid=block.bid, size=block.size, visits=visits, mix=mix,
+                mem_pcs=mem_pcs, branch_pc=branch_pc)
+
+        # Edges and contexts.  The first visit's predecessor is -1.
+        preds = np.empty_like(visit_blocks)
+        preds[0] = -1
+        preds[1:] = visit_blocks[:-1]
+        keys = (preds.astype(np.int64) + 1) * n_blocks + visit_blocks
+        unique_keys, dense_ctx, key_counts = np.unique(
+            keys, return_inverse=True, return_counts=True)
+        for key, count in zip(unique_keys, key_counts):
+            pred = int(key // n_blocks) - 1
+            succ = int(key % n_blocks)
+            if pred >= 0:
+                profile.transitions[(pred, succ)] = int(count)
+            profile.contexts[(pred, succ)] = ContextStats(
+                pred=pred, block=succ, visits=int(count),
+                dep_hist=[0] * NUM_DEP_BUCKETS)
+        self._ctx_keys = unique_keys
+        self._n_blocks = n_blocks
+        return dense_ctx[visit_of_instr], visit_blocks
+
+    # ------------------------------------------------------------------
+    def _dependencies(self, profile, tables, pcs, ctx_of_instr, visit_blocks,
+                      program):
+        """Register producer→consumer distances, bucketed per context.
+
+        For every architected register we collect its dynamic write
+        positions and, for each read, searchsorted-find the closest
+        preceding write.  Reads of the hardwired zero register are not
+        dependences and are skipped.
+        """
+        dyn_dst = tables.dst[pcs]
+        source_columns = (tables.src1[pcs], tables.src2[pcs])
+        n_ctx = len(self._ctx_keys)
+        ctx_hist = np.zeros(n_ctx * NUM_DEP_BUCKETS, dtype=np.int64)
+        bucket_bounds = np.asarray(DEP_BUCKETS)
+
+        registers = np.unique(np.concatenate(
+            [column[column > ZERO_REG] for column in source_columns]
+            + [dyn_dst[dyn_dst > ZERO_REG]]))
+        for register in registers:
+            write_positions = np.nonzero(dyn_dst == register)[0]
+            if len(write_positions) == 0:
+                continue
+            for column in source_columns:
+                read_positions = np.nonzero(column == register)[0]
+                if len(read_positions) == 0:
+                    continue
+                slots = np.searchsorted(write_positions, read_positions) - 1
+                valid = slots >= 0
+                reads = read_positions[valid]
+                distances = reads - write_positions[slots[valid]]
+                buckets = np.searchsorted(bucket_bounds, distances,
+                                          side="left")
+                np.add.at(ctx_hist,
+                          ctx_of_instr[reads] * NUM_DEP_BUCKETS + buckets, 1)
+
+        ctx_hist = ctx_hist.reshape(n_ctx, NUM_DEP_BUCKETS)
+        profile.global_dep_hist = ctx_hist.sum(axis=0).tolist()
+        for ctx_index, key in enumerate(self._ctx_keys):
+            pred = int(key // self._n_blocks) - 1
+            succ = int(key % self._n_blocks)
+            profile.contexts[(pred, succ)].dep_hist = (
+                ctx_hist[ctx_index].tolist())
+
+    # ------------------------------------------------------------------
+    def _memory_streams(self, profile, trace):
+        """Per-static-memop stride model (Section 3.1.4 / Figure 3)."""
+        mem_mask = trace.addrs >= 0
+        mem_pcs = trace.pcs[mem_mask]
+        mem_addrs = trace.addrs[mem_mask]
+        if len(mem_pcs) == 0:
+            profile.stride_coverage = 1.0
+            return
+        order = np.argsort(mem_pcs, kind="stable")
+        sorted_pcs = mem_pcs[order]
+        sorted_addrs = mem_addrs[order]
+        boundaries = np.nonzero(np.diff(sorted_pcs))[0] + 1
+        group_starts = np.concatenate([[0], boundaries])
+        group_ends = np.concatenate([boundaries, [len(sorted_pcs)]])
+
+        covered_refs = 0
+        streams = 0
+        for start, end in zip(group_starts, group_ends):
+            pc = int(sorted_pcs[start])
+            addresses = sorted_addrs[start:end]
+            count = end - start
+            instr = trace.program.instructions[pc]
+            if count == 1:
+                only = int(addresses[0])
+                profile.mem_ops[pc] = MemOpStats(
+                    pc=pc, is_store=instr.iclass == IClass.STORE, count=1,
+                    dominant_stride=0, coverage=1.0, mean_stream_length=1.0,
+                    distinct_strides=0, footprint_bytes=4,
+                    first_address=only, last_address=only)
+                covered_refs += 1
+                continue
+            deltas = np.diff(addresses)
+            values, value_counts = np.unique(deltas, return_counts=True)
+            best = int(np.argmax(value_counts))
+            dominant = int(values[best])
+            dominant_count = int(value_counts[best])
+            coverage = (dominant_count + 1) / count
+            mean_run = _mean_run_length(deltas == dominant)
+            footprint = int(addresses.max() - addresses.min()) + 4
+            local = float(np.count_nonzero(np.abs(deltas) <= 32)
+                          / len(deltas))
+            profile.mem_ops[pc] = MemOpStats(
+                pc=pc, is_store=instr.iclass == IClass.STORE,
+                count=int(count), dominant_stride=dominant,
+                coverage=float(coverage), mean_stream_length=float(mean_run),
+                distinct_strides=int(len(values)), footprint_bytes=footprint,
+                first_address=int(addresses[0]),
+                last_address=int(addresses[-1]), local_fraction=local)
+            covered_refs += dominant_count + 1
+            if count >= STREAM_MIN_EXECUTIONS:
+                streams += 1
+        profile.stride_coverage = covered_refs / len(mem_pcs)
+        profile.unique_streams = streams
+        self._detect_store_aliases(profile, trace.program)
+
+    @staticmethod
+    def _detect_store_aliases(profile, program):
+        """Mark stores that retrace a load's address sequence.
+
+        Read-modify-write pairs (``lw``/``sw`` of the same location) are
+        ubiquitous in real code and matter to the cache: the store always
+        hits the line its load just touched.  A store whose (count,
+        stride, first, last) fingerprint matches a load's is tagged so
+        the synthesizer reuses the load's stream instead of inventing an
+        independent one.  Matching is program-wide because the modifying
+        code between load and store routinely spans basic blocks.
+        """
+        loads = {}
+        for pc in sorted(profile.mem_ops):
+            stats = profile.mem_ops[pc]
+            if not stats.is_store:
+                fingerprint = (stats.count, stats.dominant_stride,
+                               stats.first_address, stats.last_address)
+                loads.setdefault(fingerprint, pc)
+        for stats in profile.mem_ops.values():
+            if not stats.is_store:
+                continue
+            fingerprint = (stats.count, stats.dominant_stride,
+                           stats.first_address, stats.last_address)
+            partner = loads.get(fingerprint)
+            if partner is not None:
+                stats.alias_of = partner
+
+    # ------------------------------------------------------------------
+    def _branch_behaviour(self, profile, trace):
+        """Taken rate and transition rate per static branch."""
+        branch_mask = trace.taken >= 0
+        branch_pcs = trace.pcs[branch_mask]
+        outcomes = trace.taken[branch_mask]
+        if len(branch_pcs) == 0:
+            return
+        order = np.argsort(branch_pcs, kind="stable")
+        sorted_pcs = branch_pcs[order]
+        sorted_outcomes = outcomes[order]
+        boundaries = np.nonzero(np.diff(sorted_pcs))[0] + 1
+        group_starts = np.concatenate([[0], boundaries])
+        group_ends = np.concatenate([boundaries, [len(sorted_pcs)]])
+        for start, end in zip(group_starts, group_ends):
+            pc = int(sorted_pcs[start])
+            group = sorted_outcomes[start:end]
+            count = end - start
+            taken_rate = float(np.count_nonzero(group) / count)
+            if count > 1:
+                transition_rate = float(
+                    np.count_nonzero(np.diff(group)) / (count - 1))
+            else:
+                transition_rate = 0.0
+            profile.branches[pc] = BranchStats(
+                pc=pc, count=int(count), taken_rate=taken_rate,
+                transition_rate=transition_rate)
+
+
+class _StaticTables:
+    """Per-instruction lookup arrays shared by all profiling passes."""
+
+    def __init__(self, program):
+        n = len(program.instructions)
+        self.iclass = np.empty(n, dtype=np.int8)
+        self.dst = np.full(n, -1, dtype=np.int16)
+        self.src1 = np.full(n, -1, dtype=np.int16)
+        self.src2 = np.full(n, -1, dtype=np.int16)
+        for index, instr in enumerate(program.instructions):
+            self.iclass[index] = instr.iclass
+            if instr.rd is not None:
+                self.dst[index] = instr.rd
+            if len(instr.srcs) >= 1:
+                self.src1[index] = instr.srcs[0]
+            if len(instr.srcs) >= 2:
+                self.src2[index] = instr.srcs[1]
+        self.block_of = np.asarray(
+            [program.block_of(i) for i in range(n)], dtype=np.int32)
+        self.is_block_start = np.zeros(n, dtype=bool)
+        for block in program.basic_blocks():
+            self.is_block_start[block.start] = True
+
+
+def _mean_run_length(mask):
+    """Average length of maximal runs of True in a boolean array."""
+    if len(mask) == 0 or not mask.any():
+        return 1.0
+    padded = np.concatenate([[False], mask, [False]])
+    edges = np.diff(padded.astype(np.int8))
+    run_starts = np.nonzero(edges == 1)[0]
+    run_ends = np.nonzero(edges == -1)[0]
+    return float(np.mean(run_ends - run_starts))
+
+
+def profile_trace(trace, **kwargs):
+    """Profile an existing :class:`DynamicTrace`."""
+    return WorkloadProfiler(**kwargs).profile(trace)
+
+
+def profile_program(program, max_instructions=50_000_000, **kwargs):
+    """Execute ``program`` functionally, then profile its trace."""
+    trace = run_program(program, max_instructions=max_instructions)
+    return WorkloadProfiler(**kwargs).profile(trace)

@@ -1,0 +1,107 @@
+"""Register assignment for synthetic clones (paper step 10).
+
+Destination registers are handed out round-robin from a pool, separately
+for the integer and floating-point streams.  A sampled dependency
+distance ``d`` for a source operand is realized by reading the register
+written by the generated instruction closest to ``d`` instructions
+earlier — valid only while round-robin reuse has not overwritten it.
+Distances the pool cannot reach are realized against long-lived *anchor*
+registers written once per loop (the loop counter/limit for integers,
+``fli``-initialized constants for floats), which is the natural encoding
+of the paper's ">32" bucket.
+"""
+
+import bisect
+
+from repro.isa.registers import reg_name
+
+
+class RoundRobinFile:
+    """One register pool plus the bookkeeping to realize distances."""
+
+    def __init__(self, pool, anchors):
+        if not pool:
+            raise ValueError("register pool must not be empty")
+        self.pool = list(pool)
+        self.anchors = list(anchors)
+        self.positions = []  # global positions of pool-writing instructions
+        self._anchor_cursor = 0
+
+    @property
+    def writes(self):
+        return len(self.positions)
+
+    def allocate_dest(self, global_position):
+        """Claim the next pool register for an instruction's destination."""
+        register = self.pool[self.writes % len(self.pool)]
+        self.positions.append(global_position)
+        return register
+
+    def source_for(self, global_position, distance):
+        """Pick the source register realizing ``distance`` best.
+
+        Returns the pool register of the latest producer at or before
+        ``global_position - distance`` if that register is still live,
+        otherwise the next anchor register.
+        """
+        desired = global_position - distance
+        index = bisect.bisect_right(self.positions, desired) - 1
+        if index < 0 or (self.writes - index) > len(self.pool):
+            return self._next_anchor()
+        return self.pool[index % len(self.pool)]
+
+    def _next_anchor(self):
+        register = self.anchors[self._anchor_cursor % len(self.anchors)]
+        self._anchor_cursor += 1
+        return register
+
+
+class CloneRegisterFile:
+    """The full clone register convention.
+
+    Integer file:
+
+    ====== ==========================================
+    r0     hardwired zero
+    r1     loop iteration counter
+    r2     loop limit (integer anchor)
+    r3     branch-condition scratch
+    r4-11  stream-cluster pointers
+    r12-19 stream-cluster reset countdowns
+    r20-30 round-robin dependence pool
+    r31    shared xorshift32 random-branch state
+    ====== ==========================================
+
+    Floating-point file: f0-f3 are ``fli``-initialized anchors, f4-f31
+    the round-robin pool.
+    """
+
+    COUNTER = 1
+    LIMIT = 2
+    SCRATCH = 3
+    RNG = 31
+    FIRST_POINTER = 4
+    FIRST_COUNTDOWN = 12
+    MAX_CLUSTERS = 8
+
+    def __init__(self):
+        self.int_file = RoundRobinFile(pool=list(range(20, 31)),
+                                       anchors=[self.LIMIT, self.COUNTER])
+        self.fp_file = RoundRobinFile(pool=[32 + n for n in range(4, 32)],
+                                      anchors=[32 + n for n in range(0, 4)])
+
+    def pointer(self, cluster_index):
+        if cluster_index >= self.MAX_CLUSTERS:
+            raise ValueError("too many stream clusters for the register file")
+        return self.FIRST_POINTER + cluster_index
+
+    def countdown(self, cluster_index):
+        if cluster_index >= self.MAX_CLUSTERS:
+            raise ValueError("too many stream clusters for the register file")
+        return self.FIRST_COUNTDOWN + cluster_index
+
+    def pointer_name(self, cluster_index):
+        return reg_name(self.pointer(cluster_index))
+
+    def countdown_name(self, cluster_index):
+        return reg_name(self.countdown(cluster_index))

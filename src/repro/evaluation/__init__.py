@@ -1,0 +1,38 @@
+"""Evaluation harness: metrics and experiment runners for every table
+and figure in the paper (see DESIGN.md's per-experiment index)."""
+
+from repro.evaluation.metrics import (
+    mean_absolute_percentage_error,
+    pearson,
+    rank_vector,
+    relative_error,
+    spearman,
+)
+from repro.evaluation.experiments import (
+    Artifacts,
+    base_config_comparison,
+    baseline_cache_comparison,
+    cache_correlation_study,
+    design_change_study,
+    stream_count_table,
+    stride_coverage_table,
+    workload_artifacts,
+)
+from repro.evaluation.reporting import format_table
+
+__all__ = [
+    "Artifacts",
+    "base_config_comparison",
+    "baseline_cache_comparison",
+    "cache_correlation_study",
+    "design_change_study",
+    "format_table",
+    "mean_absolute_percentage_error",
+    "pearson",
+    "rank_vector",
+    "relative_error",
+    "spearman",
+    "stream_count_table",
+    "stride_coverage_table",
+    "workload_artifacts",
+]

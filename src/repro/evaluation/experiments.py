@@ -1,0 +1,353 @@
+"""Experiment runners for the paper's figures and tables.
+
+Every experiment follows the same recipe: execute the real workload,
+profile it, synthesize the clone, execute the clone, then compare the two
+programs on microarchitecture models.  ``workload_artifacts`` memoizes
+the per-workload pipeline so all experiments in a process share it.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.baseline import MicroarchDependentSynthesizer
+from repro.core.cloning import make_clone
+from repro.core.profiler import profile_trace
+from repro.core.synthesizer import SynthesisParameters
+from repro.sim.functional import run_program
+from repro.uarch.branch_predictors import simulate_predictor
+from repro.uarch.cache import simulate_cache
+from repro.uarch.config import BASE_CONFIG, CACHE_SWEEP, DESIGN_CHANGES
+from repro.uarch.pipeline import simulate_pipeline
+from repro.uarch.power import PowerModel
+from repro.evaluation.metrics import (
+    mean_absolute_percentage_error,
+    pearson,
+    rank_vector,
+    relative_error,
+)
+from repro.workloads import build_workload, workload_names
+
+#: Default clone run length: comparable to the real kernels' runs.
+DEFAULT_CLONE_INSTRUCTIONS = 120_000
+
+#: Safety cap for functional simulation of any program.
+_MAX_FUNCTIONAL = 20_000_000
+
+
+@dataclass
+class Artifacts:
+    """Everything produced by the cloning pipeline for one workload."""
+
+    name: str
+    program: object
+    trace: object
+    profile: object
+    clone: object  # CloneResult
+    clone_trace: object
+
+
+_ARTIFACT_CACHE = {}
+
+
+def workload_artifacts(name, parameters=None):
+    """Build → run → profile → synthesize → run clone, memoized."""
+    if parameters is None:
+        parameters = SynthesisParameters(
+            dynamic_instructions=DEFAULT_CLONE_INSTRUCTIONS)
+    key = (name, repr(parameters))
+    cached = _ARTIFACT_CACHE.get(key)
+    if cached is not None:
+        return cached
+    program = build_workload(name)
+    trace = run_program(program, max_instructions=_MAX_FUNCTIONAL)
+    profile = profile_trace(trace)
+    clone = make_clone(profile, parameters)
+    clone_trace = run_program(clone.program,
+                              max_instructions=_MAX_FUNCTIONAL)
+    artifacts = Artifacts(name=name, program=program, trace=trace,
+                          profile=profile, clone=clone,
+                          clone_trace=clone_trace)
+    _ARTIFACT_CACHE[key] = artifacts
+    return artifacts
+
+
+def clear_artifact_cache():
+    _ARTIFACT_CACHE.clear()
+
+
+def _names(names):
+    return list(names) if names is not None else workload_names()
+
+
+# ----------------------------------------------------------------------
+# Figure 3: single-stride coverage of dynamic memory references
+# ----------------------------------------------------------------------
+def stride_coverage_table(names=None):
+    """Rows of (workload, fraction of dynamic refs covered by one stride)."""
+    rows = []
+    for name in _names(names):
+        artifacts = workload_artifacts(name)
+        rows.append((name, artifacts.profile.stride_coverage))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figures 4 & 5: miss-per-instruction tracking across 28 cache configs
+# ----------------------------------------------------------------------
+def cache_correlation_study(names=None, configs=None):
+    """Per-workload Pearson correlation of relative MPI across caches.
+
+    Returns a dict with per-benchmark correlations (Figure 4), the mean
+    ranking of each configuration under real and clone (Figure 5), and
+    the raw MPI matrices.
+    """
+    configs = list(configs) if configs is not None else CACHE_SWEEP
+    names = _names(names)
+    correlations = {}
+    mpi_real = {}
+    mpi_clone = {}
+    for name in names:
+        artifacts = workload_artifacts(name)
+        real_addresses = artifacts.trace.memory_addresses()
+        clone_addresses = artifacts.clone_trace.memory_addresses()
+        real_row = []
+        clone_row = []
+        for config in configs:
+            real_row.append(simulate_cache(real_addresses, config).misses
+                            / len(artifacts.trace))
+            clone_row.append(simulate_cache(clone_addresses, config).misses
+                             / len(artifacts.clone_trace))
+        mpi_real[name] = real_row
+        mpi_clone[name] = clone_row
+        # Deltas relative to the first (256B direct-mapped) configuration.
+        real_delta = [value - real_row[0] for value in real_row[1:]]
+        clone_delta = [value - clone_row[0] for value in clone_row[1:]]
+        correlations[name] = pearson(real_delta, clone_delta)
+
+    # Figure 5: mean rank per configuration over all workloads (rank 1 =
+    # fewest misses).
+    n_configs = len(configs)
+    rank_sums_real = [0.0] * n_configs
+    rank_sums_clone = [0.0] * n_configs
+    for name in names:
+        for index, rank in enumerate(rank_vector(mpi_real[name])):
+            rank_sums_real[index] += rank
+        for index, rank in enumerate(rank_vector(mpi_clone[name])):
+            rank_sums_clone[index] += rank
+    mean_rank_real = [s / len(names) for s in rank_sums_real]
+    mean_rank_clone = [s / len(names) for s in rank_sums_clone]
+
+    return {
+        "configs": configs,
+        "correlations": correlations,
+        "average_correlation": sum(correlations.values()) / len(correlations),
+        "mpi_real": mpi_real,
+        "mpi_clone": mpi_clone,
+        "mean_rank_real": mean_rank_real,
+        "mean_rank_clone": mean_rank_clone,
+        "ranking_correlation": pearson(mean_rank_real, mean_rank_clone),
+    }
+
+
+# ----------------------------------------------------------------------
+# Figures 6 & 7: absolute IPC and power on the base configuration
+# ----------------------------------------------------------------------
+def base_config_comparison(names=None, config=BASE_CONFIG,
+                           max_instructions=None):
+    """Per-workload IPC and power, real vs clone, plus average errors."""
+    names = _names(names)
+    power_model = PowerModel(config)
+    rows = []
+    for name in names:
+        artifacts = workload_artifacts(name)
+        real = simulate_pipeline(artifacts.trace, config,
+                                 max_instructions=max_instructions)
+        clone = simulate_pipeline(artifacts.clone_trace, config,
+                                  max_instructions=max_instructions)
+        rows.append({
+            "name": name,
+            "ipc_real": real.ipc,
+            "ipc_clone": clone.ipc,
+            "power_real": power_model.evaluate(real).total,
+            "power_clone": power_model.evaluate(clone).total,
+        })
+    ipc_error = mean_absolute_percentage_error(
+        [row["ipc_real"] for row in rows],
+        [row["ipc_clone"] for row in rows])
+    power_error = mean_absolute_percentage_error(
+        [row["power_real"] for row in rows],
+        [row["power_clone"] for row in rows])
+    return {"rows": rows, "config": config,
+            "average_ipc_error": ipc_error,
+            "average_power_error": power_error}
+
+
+# ----------------------------------------------------------------------
+# Table 3 / Figures 8 & 9: relative accuracy over five design changes
+# ----------------------------------------------------------------------
+def design_change_study(names=None, base=BASE_CONFIG, changes=None,
+                        max_instructions=None):
+    """Relative IPC/power error of the clone for each design change.
+
+    Also returns the per-workload speedups and power deltas for the
+    width-doubling change (the paper's Figures 8 and 9).
+    """
+    changes = list(changes) if changes is not None else DESIGN_CHANGES
+    names = _names(names)
+    base_power_model = PowerModel(base)
+
+    base_results = {}
+    for name in names:
+        artifacts = workload_artifacts(name)
+        real = simulate_pipeline(artifacts.trace, base,
+                                 max_instructions=max_instructions)
+        clone = simulate_pipeline(artifacts.clone_trace, base,
+                                  max_instructions=max_instructions)
+        base_results[name] = {
+            "ipc_real": real.ipc, "ipc_clone": clone.ipc,
+            "power_real": base_power_model.evaluate(real).total,
+            "power_clone": base_power_model.evaluate(clone).total,
+        }
+
+    change_rows = []
+    width_detail = None
+    for config in changes:
+        power_model = PowerModel(config)
+        ipc_errors = []
+        power_errors = []
+        detail = []
+        for name in names:
+            artifacts = workload_artifacts(name)
+            real = simulate_pipeline(artifacts.trace, config,
+                                     max_instructions=max_instructions)
+            clone = simulate_pipeline(artifacts.clone_trace, config,
+                                      max_instructions=max_instructions)
+            base_row = base_results[name]
+            power_real = power_model.evaluate(real).total
+            power_clone = power_model.evaluate(clone).total
+            ipc_errors.append(relative_error(
+                real.ipc, base_row["ipc_real"],
+                clone.ipc, base_row["ipc_clone"]))
+            power_errors.append(relative_error(
+                power_real, base_row["power_real"],
+                power_clone, base_row["power_clone"]))
+            detail.append({
+                "name": name,
+                "speedup_real": real.ipc / base_row["ipc_real"],
+                "speedup_clone": clone.ipc / base_row["ipc_clone"],
+                "power_ratio_real": power_real / base_row["power_real"],
+                "power_ratio_clone": power_clone / base_row["power_clone"],
+            })
+        row = {
+            "change": config.name,
+            "avg_ipc_relative_error":
+                sum(ipc_errors) / len(ipc_errors),
+            "avg_power_relative_error":
+                sum(power_errors) / len(power_errors),
+            "detail": detail,
+        }
+        change_rows.append(row)
+        if config.name == "2x-width":
+            width_detail = detail
+    return {"base": base_results, "changes": change_rows,
+            "width_detail": width_detail}
+
+
+# ----------------------------------------------------------------------
+# Ablation A: microarchitecture-dependent baseline vs our clone
+# ----------------------------------------------------------------------
+def baseline_cache_comparison(names=None, configs=None,
+                              profiled_cache=None):
+    """How each synthesis style tracks cache changes (the paper's
+    motivating claim, Sections 1-3).
+
+    The microarchitecture-dependent baseline is tuned to the base
+    machine's L1D; we then compare Pearson correlations across the cache
+    sweep for it and for the microarchitecture-independent clone.
+    """
+    configs = list(configs) if configs is not None else CACHE_SWEEP
+    if profiled_cache is None:
+        profiled_cache = BASE_CONFIG.l1d
+    names = _names(names)
+    rows = []
+    for name in names:
+        artifacts = workload_artifacts(name)
+        real_addresses = artifacts.trace.memory_addresses()
+        real_n = len(artifacts.trace)
+        measured_miss = simulate_cache(real_addresses,
+                                       profiled_cache).miss_rate
+        measured_mispredict = simulate_predictor(
+            artifacts.trace, BASE_CONFIG.predictor).stats.misprediction_rate
+        baseline = MicroarchDependentSynthesizer(
+            artifacts.profile, measured_miss, measured_mispredict,
+            profiled_cache_bytes=profiled_cache.size,
+            profiled_line_bytes=profiled_cache.line,
+            parameters=SynthesisParameters(
+                dynamic_instructions=DEFAULT_CLONE_INSTRUCTIONS),
+        ).synthesize()
+        baseline_trace = run_program(baseline.program,
+                                     max_instructions=_MAX_FUNCTIONAL)
+        baseline_addresses = baseline_trace.memory_addresses()
+        clone_addresses = artifacts.clone_trace.memory_addresses()
+
+        real_row, clone_row, baseline_row = [], [], []
+        for config in configs:
+            real_row.append(
+                simulate_cache(real_addresses, config).misses / real_n)
+            clone_row.append(
+                simulate_cache(clone_addresses, config).misses
+                / len(artifacts.clone_trace))
+            baseline_row.append(
+                simulate_cache(baseline_addresses, config).misses
+                / len(baseline_trace))
+        real_delta = [v - real_row[0] for v in real_row[1:]]
+        mean_real = sum(real_row) / len(real_row)
+
+        def mpi_error(row):
+            """Mean |synthetic - real| MPI, normalized by the real mean —
+            the "large errors when configurations change" the paper
+            ascribes to microarchitecture-dependent synthesis."""
+            if mean_real == 0:
+                return 0.0
+            return (sum(abs(s - r) for s, r in zip(row, real_row))
+                    / len(row) / mean_real)
+
+        rows.append({
+            "name": name,
+            "measured_miss_rate": measured_miss,
+            "clone_correlation": pearson(
+                real_delta, [v - clone_row[0] for v in clone_row[1:]]),
+            "baseline_correlation": pearson(
+                real_delta,
+                [v - baseline_row[0] for v in baseline_row[1:]]),
+            "clone_mpi_error": mpi_error(clone_row),
+            "baseline_mpi_error": mpi_error(baseline_row),
+        })
+    count = len(rows)
+    return {
+        "rows": rows,
+        "avg_clone_correlation":
+            sum(r["clone_correlation"] for r in rows) / count,
+        "avg_baseline_correlation":
+            sum(r["baseline_correlation"] for r in rows) / count,
+        "avg_clone_mpi_error":
+            sum(r["clone_mpi_error"] for r in rows) / count,
+        "avg_baseline_mpi_error":
+            sum(r["baseline_mpi_error"] for r in rows) / count,
+    }
+
+
+# ----------------------------------------------------------------------
+# Ablation B: accuracy vs number of unique streams (the susan discussion)
+# ----------------------------------------------------------------------
+def stream_count_table(names=None):
+    """(workload, unique streams, cache correlation) rows, most streams
+    first — the paper's explanation of susan's lower correlation."""
+    names = _names(names)
+    study = cache_correlation_study(names)
+    rows = []
+    for name in names:
+        artifacts = workload_artifacts(name)
+        rows.append((name, artifacts.profile.unique_streams,
+                     study["correlations"][name]))
+    rows.sort(key=lambda row: row[1], reverse=True)
+    return rows

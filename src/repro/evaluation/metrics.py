@@ -1,0 +1,85 @@
+"""Accuracy metrics used by the paper's evaluation.
+
+* Pearson's linear correlation coefficient (Section 5.1) quantifies how
+  well the clone *tracks* metric changes across configurations.
+* The relative-error formula of Section 5.2 quantifies trend prediction
+  between two design points:
+
+      RE_X = | (M_X,S / M_Y,S) - (M_X,R / M_Y,R) | / (M_X,R / M_Y,R)
+
+  with R the real benchmark, S the synthetic clone, Y the base design
+  point and X the changed one.
+"""
+
+import math
+
+
+def pearson(xs, ys):
+    """Pearson's linear correlation coefficient of two equal sequences."""
+    n = len(xs)
+    if n != len(ys):
+        raise ValueError("sequences must have equal length")
+    if n < 2:
+        raise ValueError("need at least two points")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sxx = syy = 0.0
+    for x, y in zip(xs, ys):
+        dx = x - mean_x
+        dy = y - mean_y
+        cov += dx * dy
+        sxx += dx * dx
+        syy += dy * dy
+    if sxx == 0.0 or syy == 0.0:
+        # A constant series tracks anything perfectly iff the other is
+        # constant too; define that as correlation 1, else 0.
+        return 1.0 if sxx == syy else 0.0
+    denominator = math.sqrt(sxx) * math.sqrt(syy)
+    if denominator == 0.0:  # subnormal variances can underflow
+        return 0.0
+    return max(-1.0, min(1.0, cov / denominator))
+
+
+def rank_vector(values, descending=False):
+    """Ranks (1 = smallest by default), with ties averaged."""
+    order = sorted(range(len(values)), key=lambda i: values[i],
+                   reverse=descending)
+    ranks = [0.0] * len(values)
+    position = 0
+    while position < len(order):
+        tied_end = position
+        while (tied_end + 1 < len(order)
+               and values[order[tied_end + 1]] == values[order[position]]):
+            tied_end += 1
+        average_rank = (position + tied_end) / 2.0 + 1.0
+        for index in range(position, tied_end + 1):
+            ranks[order[index]] = average_rank
+        position = tied_end + 1
+    return ranks
+
+
+def spearman(xs, ys):
+    """Spearman rank correlation (Pearson over rank vectors)."""
+    return pearson(rank_vector(xs), rank_vector(ys))
+
+
+def relative_error(metric_changed_real, metric_base_real,
+                   metric_changed_synth, metric_base_synth):
+    """The paper's RE_X for one design change (see module docstring)."""
+    real_ratio = metric_changed_real / metric_base_real
+    synth_ratio = metric_changed_synth / metric_base_synth
+    return abs(synth_ratio - real_ratio) / abs(real_ratio)
+
+
+def mean_absolute_percentage_error(reference, estimates):
+    """Mean of |est - ref| / ref over paired sequences, as a fraction."""
+    if len(reference) != len(estimates):
+        raise ValueError("sequences must have equal length")
+    if not reference:
+        raise ValueError("need at least one point")
+    total = 0.0
+    for ref, est in zip(reference, estimates):
+        if ref == 0:
+            raise ValueError("reference value is zero")
+        total += abs(est - ref) / abs(ref)
+    return total / len(reference)

@@ -1,0 +1,26 @@
+"""Plain-text table rendering for experiment results."""
+
+
+def format_table(headers, rows, float_format="{:.4f}"):
+    """Render an aligned text table.
+
+    ``rows`` hold strings/ints/floats; floats use ``float_format``.
+    """
+    def render(value):
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells):
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+
+    out = [line(headers), line(["-" * width for width in widths])]
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)

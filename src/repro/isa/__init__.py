@@ -1,0 +1,47 @@
+"""SRISC: the small RISC instruction set used as the paper's Alpha stand-in.
+
+The performance-cloning technique consumes a dynamic instruction stream
+(opcode classes, register dependences, memory addresses, branch outcomes).
+The paper obtained that stream from Alpha binaries on SimpleScalar; this
+package provides an equivalent substrate we fully control: an instruction
+set, a two-pass assembler, and static program/CFG analysis.
+"""
+
+from repro.isa.instructions import (
+    ICLASS_NAMES,
+    IClass,
+    Instruction,
+    OPCODES,
+    OpcodeSpec,
+)
+from repro.isa.registers import (
+    FP_REG_BASE,
+    NUM_INT_REGS,
+    NUM_FP_REGS,
+    ZERO_REG,
+    fp_reg,
+    int_reg,
+    reg_name,
+)
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.program import BasicBlock, Program, disassemble
+
+__all__ = [
+    "AssemblerError",
+    "BasicBlock",
+    "FP_REG_BASE",
+    "ICLASS_NAMES",
+    "IClass",
+    "Instruction",
+    "NUM_FP_REGS",
+    "NUM_INT_REGS",
+    "OPCODES",
+    "OpcodeSpec",
+    "Program",
+    "ZERO_REG",
+    "assemble",
+    "disassemble",
+    "fp_reg",
+    "int_reg",
+    "reg_name",
+]

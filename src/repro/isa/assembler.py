@@ -1,0 +1,370 @@
+"""Two-pass assembler for SRISC.
+
+Accepted source structure::
+
+        .data
+    arr:    .word 5, 3, 8, 1
+    tab:    .space 256
+    pi:     .double 3.14159
+        .text
+    main:
+        la   r4, arr
+        li   r5, 0
+    loop:
+        lw   r6, 0(r4)
+        add  r5, r5, r6
+        addi r4, r4, 4
+        bne  r4, r7, loop
+        halt
+
+Comments start with ``#`` or ``;``.  Labels may share a line with an
+instruction or directive.  Pseudo-ops (``li``, ``la``, ``mv``, ``nop``,
+``not``, ``neg``, ``bgt``, ``ble``, ``bgtu``, ``bleu``, ``beqz``, ``bnez``,
+``bltz``, ``bgez``, ``bgtz``, ``blez``, ``b``) expand to real opcodes, so
+the profiled instruction mix reflects what the machine executes.
+"""
+
+import struct
+
+from repro.isa.instructions import Instruction, OPCODES
+from repro.isa.registers import REG_RA, ZERO_REG, parse_reg
+
+
+class AssemblerError(Exception):
+    """Raised with file/line context for any malformed source."""
+
+
+#: Base virtual address of the text segment (instruction ``i`` lives at
+#: ``TEXT_BASE + 4 * i``).
+TEXT_BASE = 0x1000
+
+#: Base virtual address of the data segment.
+DATA_BASE = 0x100000
+
+#: Initial stack pointer (stacks grow down).
+STACK_TOP = 0x400000
+
+
+def _parse_int(token):
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"bad integer literal: {token!r}") from None
+
+
+def _parse_float(token):
+    try:
+        return float(token)
+    except ValueError:
+        raise AssemblerError(f"bad float literal: {token!r}") from None
+
+
+def _split_operands(rest):
+    return [tok.strip() for tok in rest.split(",")] if rest.strip() else []
+
+
+def _parse_mem_operand(token):
+    """Parse ``imm(reg)`` into ``(imm, reg_index)``."""
+    token = token.strip()
+    if not token.endswith(")") or "(" not in token:
+        raise AssemblerError(f"bad memory operand: {token!r}")
+    imm_part, reg_part = token[:-1].split("(", 1)
+    imm = _parse_int(imm_part) if imm_part.strip() else 0
+    return imm, parse_reg(reg_part)
+
+
+def _li_sequence(rd, value):
+    """Expand ``li rd, value`` into real instructions.
+
+    Values representable in 16 signed bits take one ``addi``; anything else
+    takes the classic ``lui``/``ori`` pair over the 32-bit two's-complement
+    encoding.
+    """
+    if -32768 <= value <= 32767:
+        return [Instruction("addi", rd=rd, rs1=ZERO_REG, imm=value)]
+    encoded = value & 0xFFFFFFFF
+    hi, lo = encoded >> 16, encoded & 0xFFFF
+    seq = [Instruction("lui", rd=rd, imm=hi)]
+    if lo:
+        seq.append(Instruction("ori", rd=rd, rs1=rd, imm=lo))
+    return seq
+
+
+class _PendingLoadAddress:
+    """Placeholder for ``la``: patched once data symbols are known."""
+
+    __slots__ = ("rd", "symbol", "line")
+
+    def __init__(self, rd, symbol, line):
+        self.rd = rd
+        self.symbol = symbol
+        self.line = line
+
+
+class _DataSection:
+    """Accumulates the initial data image and symbol addresses."""
+
+    def __init__(self, base):
+        self.base = base
+        self.image = bytearray()
+        self.symbols = {}
+
+    @property
+    def cursor(self):
+        return self.base + len(self.image)
+
+    def define(self, label, line):
+        if label in self.symbols:
+            raise AssemblerError(f"line {line}: duplicate data label {label!r}")
+        self.symbols[label] = self.cursor
+
+    def align(self, boundary):
+        while len(self.image) % boundary:
+            self.image.append(0)
+
+    def emit_words(self, values):
+        self.align(4)
+        for value in values:
+            self.image += struct.pack("<I", value & 0xFFFFFFFF)
+
+    def emit_bytes(self, values):
+        for value in values:
+            self.image.append(value & 0xFF)
+
+    def emit_doubles(self, values):
+        self.align(8)
+        for value in values:
+            self.image += struct.pack("<d", value)
+
+    def emit_space(self, count):
+        self.image += bytes(count)
+
+
+def assemble(source, name="<asm>"):
+    """Assemble SRISC source text into a :class:`repro.isa.Program`."""
+    from repro.isa.program import Program
+
+    data = _DataSection(DATA_BASE)
+    instructions = []
+    labels = {}
+    branch_fixups = []  # (instr_index, symbol, line)
+    word_fixups = []  # (byte_offset, symbol, line)
+    section = ".text"
+
+    def define_label(label, line):
+        if section == ".data":
+            data.define(label, line)
+        else:
+            if label in labels:
+                raise AssemblerError(f"line {line}: duplicate label {label!r}")
+            labels[label] = len(instructions)
+
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        while line:
+            head, _, rest = line.partition(" ")
+            if head.endswith(":"):
+                define_label(head[:-1], lineno)
+                line = rest.strip()
+                continue
+            break
+        if not line:
+            continue
+
+        if line.startswith("."):
+            directive, _, rest = line.partition(" ")
+            if directive in (".text", ".data"):
+                section = directive
+            elif directive == ".align":
+                data.align(_parse_int(rest.strip()))
+            elif directive == ".space":
+                data.emit_space(_parse_int(rest.strip()))
+            elif directive == ".word":
+                tokens = _split_operands(rest)
+                data.align(4)
+                for token in tokens:
+                    if token and (token[0].isalpha() or token[0] == "_"):
+                        word_fixups.append((len(data.image), token, lineno))
+                        data.emit_words([0])
+                    else:
+                        data.emit_words([_parse_int(token)])
+            elif directive == ".byte":
+                data.emit_bytes([_parse_int(t) for t in _split_operands(rest)])
+            elif directive in (".double", ".float"):
+                data.emit_doubles([_parse_float(t) for t in _split_operands(rest)])
+            else:
+                raise AssemblerError(f"{name}:{lineno}: unknown directive {directive}")
+            continue
+
+        if section != ".text":
+            raise AssemblerError(f"{name}:{lineno}: instruction outside .text")
+        try:
+            emitted = _parse_instruction(line, branch_fixups, len(instructions))
+        except (AssemblerError, ValueError) as exc:
+            raise AssemblerError(f"{name}:{lineno}: {exc}") from None
+        instructions.extend(emitted)
+
+    # Patch `la` placeholders now that data symbols are known.
+    for index, instr in enumerate(instructions):
+        if isinstance(instr, _PendingLoadAddress):
+            address = data.symbols.get(instr.symbol)
+            if address is None:
+                raise AssemblerError(
+                    f"{name}: undefined data symbol {instr.symbol!r}")
+            hi, lo = address >> 16, address & 0xFFFF
+            instructions[index] = Instruction("lui", rd=instr.rd, imm=hi)
+            instructions[index + 1] = Instruction(
+                "ori", rd=instr.rd, rs1=instr.rd, imm=lo)
+
+    for index, symbol, lineno in branch_fixups:
+        target = labels.get(symbol)
+        if target is None:
+            target_addr = data.symbols.get(symbol)
+            if target_addr is None:
+                raise AssemblerError(
+                    f"{name}:{lineno}: undefined label {symbol!r}")
+            raise AssemblerError(
+                f"{name}:{lineno}: branch to data symbol {symbol!r}")
+        instructions[index].target = target
+
+    for offset, symbol, lineno in word_fixups:
+        address = data.symbols.get(symbol)
+        if address is None and symbol in labels:
+            address = TEXT_BASE + 4 * labels[symbol]
+        if address is None:
+            raise AssemblerError(f"{name}:{lineno}: undefined symbol {symbol!r}")
+        data.image[offset:offset + 4] = struct.pack("<I", address)
+
+    return Program(instructions=instructions, labels=labels,
+                   data_image=bytes(data.image), data_symbols=dict(data.symbols),
+                   name=name)
+
+
+_BRANCH_SWAPS = {"bgt": "blt", "ble": "bge", "bgtu": "bltu", "bleu": "bgeu"}
+_ZERO_BRANCHES = {
+    "beqz": ("beq", False), "bnez": ("bne", False),
+    "bltz": ("blt", False), "bgez": ("bge", False),
+    "bgtz": ("blt", True), "blez": ("bge", True),
+}
+
+
+def _parse_instruction(line, branch_fixups, next_index):
+    """Parse one statement; returns the (possibly expanded) instructions."""
+    mnemonic, _, rest = line.partition(" ")
+    mnemonic = mnemonic.lower()
+    ops = _split_operands(rest)
+
+    def need(count):
+        if len(ops) != count:
+            raise AssemblerError(
+                f"{mnemonic} expects {count} operands, got {len(ops)}")
+
+    # --- pseudo-ops ---------------------------------------------------
+    if mnemonic == "nop":
+        return [Instruction("add", rd=ZERO_REG, rs1=ZERO_REG, rs2=ZERO_REG)]
+    if mnemonic == "li":
+        need(2)
+        return _li_sequence(parse_reg(ops[0]), _parse_int(ops[1]))
+    if mnemonic == "la":
+        need(2)
+        pending = _PendingLoadAddress(parse_reg(ops[0]), ops[1], next_index)
+        # Reserve two slots; both get patched once addresses are known.
+        return [pending, Instruction("add", rd=ZERO_REG, rs1=ZERO_REG,
+                                     rs2=ZERO_REG)]
+    if mnemonic == "mv":
+        need(2)
+        return [Instruction("add", rd=parse_reg(ops[0]), rs1=parse_reg(ops[1]),
+                            rs2=ZERO_REG)]
+    if mnemonic == "not":
+        need(2)
+        return [Instruction("nor", rd=parse_reg(ops[0]), rs1=parse_reg(ops[1]),
+                            rs2=ZERO_REG)]
+    if mnemonic == "neg":
+        need(2)
+        return [Instruction("sub", rd=parse_reg(ops[0]), rs1=ZERO_REG,
+                            rs2=parse_reg(ops[1]))]
+    if mnemonic == "b":
+        need(1)
+        instr = Instruction("j")
+        branch_fixups.append((next_index, ops[0], next_index))
+        return [instr]
+    if mnemonic in _BRANCH_SWAPS:
+        need(3)
+        instr = Instruction(_BRANCH_SWAPS[mnemonic], rs1=parse_reg(ops[1]),
+                            rs2=parse_reg(ops[0]))
+        branch_fixups.append((next_index, ops[2], next_index))
+        return [instr]
+    if mnemonic in _ZERO_BRANCHES:
+        need(2)
+        opcode, zero_first = _ZERO_BRANCHES[mnemonic]
+        reg = parse_reg(ops[0])
+        rs1, rs2 = (ZERO_REG, reg) if zero_first else (reg, ZERO_REG)
+        instr = Instruction(opcode, rs1=rs1, rs2=rs2)
+        branch_fixups.append((next_index, ops[1], next_index))
+        return [instr]
+
+    # --- real opcodes -------------------------------------------------
+    spec = OPCODES.get(mnemonic)
+    if spec is None:
+        raise AssemblerError(f"unknown mnemonic {mnemonic!r}")
+    fmt = spec.fmt
+
+    if fmt in ("r3", "f3"):
+        need(3)
+        return [Instruction(mnemonic, rd=parse_reg(ops[0]),
+                            rs1=parse_reg(ops[1]), rs2=parse_reg(ops[2]))]
+    if fmt == "r2i":
+        need(3)
+        return [Instruction(mnemonic, rd=parse_reg(ops[0]),
+                            rs1=parse_reg(ops[1]), imm=_parse_int(ops[2]))]
+    if fmt == "ri":
+        need(2)
+        return [Instruction(mnemonic, rd=parse_reg(ops[0]),
+                            imm=_parse_int(ops[1]))]
+    if fmt in ("f2", "fcvt_wf", "fcvt_fw"):
+        need(2)
+        return [Instruction(mnemonic, rd=parse_reg(ops[0]),
+                            rs1=parse_reg(ops[1]))]
+    if fmt == "fcmp":
+        need(3)
+        return [Instruction(mnemonic, rd=parse_reg(ops[0]),
+                            rs1=parse_reg(ops[1]), rs2=parse_reg(ops[2]))]
+    if fmt == "fli":
+        need(2)
+        return [Instruction(mnemonic, rd=parse_reg(ops[0]),
+                            imm=_parse_float(ops[1]))]
+    if fmt in ("load", "fload"):
+        need(2)
+        imm, base = _parse_mem_operand(ops[1])
+        return [Instruction(mnemonic, rd=parse_reg(ops[0]), rs1=base, imm=imm)]
+    if fmt in ("store", "fstore"):
+        need(2)
+        imm, base = _parse_mem_operand(ops[1])
+        return [Instruction(mnemonic, rs2=parse_reg(ops[0]), rs1=base, imm=imm)]
+    if fmt == "br":
+        need(3)
+        instr = Instruction(mnemonic, rs1=parse_reg(ops[0]),
+                            rs2=parse_reg(ops[1]))
+        branch_fixups.append((next_index, ops[2], next_index))
+        return [instr]
+    if fmt == "j":
+        need(1)
+        instr = Instruction(mnemonic)
+        branch_fixups.append((next_index, ops[0], next_index))
+        return [instr]
+    if fmt == "jal":
+        need(1)
+        instr = Instruction(mnemonic, rd=REG_RA)
+        branch_fixups.append((next_index, ops[0], next_index))
+        return [instr]
+    if fmt == "jr":
+        need(1)
+        return [Instruction(mnemonic, rs1=parse_reg(ops[0]))]
+    if fmt == "jalr":
+        need(2)
+        return [Instruction(mnemonic, rd=parse_reg(ops[0]),
+                            rs1=parse_reg(ops[1]))]
+    if fmt == "none":
+        need(0)
+        return [Instruction(mnemonic)]
+    raise AssemblerError(f"unhandled format {fmt!r} for {mnemonic!r}")

@@ -1,0 +1,65 @@
+"""Register file naming for SRISC.
+
+A single flat register index space is used throughout the toolchain so that
+dependence tracking needs only one table:
+
+* indices ``0 .. 31``  — integer registers ``r0`` .. ``r31`` (``r0`` is a
+  hardwired zero, like MIPS/RISC-V);
+* indices ``32 .. 63`` — floating-point registers ``f0`` .. ``f31``.
+"""
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+FP_REG_BASE = NUM_INT_REGS
+NUM_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: Flat index of the hardwired-zero integer register.
+ZERO_REG = 0
+
+# Conventional roles used by hand-written workloads and the synthesizer.
+# These are conventions only; the hardware treats all registers (except r0)
+# identically.
+REG_SP = 29  # stack pointer
+REG_RA = 31  # return address (written by jal)
+
+
+def int_reg(number):
+    """Return the flat register index for integer register ``r<number>``."""
+    if not 0 <= number < NUM_INT_REGS:
+        raise ValueError(f"integer register out of range: r{number}")
+    return number
+
+
+def fp_reg(number):
+    """Return the flat register index for floating-point register ``f<number>``."""
+    if not 0 <= number < NUM_FP_REGS:
+        raise ValueError(f"fp register out of range: f{number}")
+    return FP_REG_BASE + number
+
+
+def is_fp_reg(index):
+    """True if the flat register index names a floating-point register."""
+    return index >= FP_REG_BASE
+
+
+def reg_name(index):
+    """Render a flat register index as its assembly name (``r7`` / ``f3``)."""
+    if not 0 <= index < NUM_REGS:
+        raise ValueError(f"register index out of range: {index}")
+    if index < FP_REG_BASE:
+        return f"r{index}"
+    return f"f{index - FP_REG_BASE}"
+
+
+def parse_reg(token):
+    """Parse an assembly register token (``r12`` or ``f4``) to a flat index.
+
+    Raises ``ValueError`` for anything else.
+    """
+    token = token.strip().lower()
+    if len(token) < 2 or token[0] not in "rf" or not token[1:].isdigit():
+        raise ValueError(f"not a register: {token!r}")
+    number = int(token[1:])
+    if token[0] == "r":
+        return int_reg(number)
+    return fp_reg(number)

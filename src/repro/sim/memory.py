@@ -1,0 +1,67 @@
+"""Flat byte-addressable memory for the functional simulator."""
+
+import struct
+
+from repro.isa.assembler import DATA_BASE, STACK_TOP
+
+
+class MemoryError_(Exception):
+    """Out-of-range or misaligned access (named to avoid the builtin)."""
+
+
+class Memory:
+    """A flat little-endian memory image.
+
+    The address space runs from 0 to ``size`` (default: just past the
+    initial stack top).  Words are 4 bytes; doubles are 8 bytes.  The
+    functional simulator accesses ``self.data`` directly on its hot path;
+    the methods here are the convenient/checked interface used by tests,
+    workload setup, and result verification.
+    """
+
+    def __init__(self, size=STACK_TOP + 0x10000, data_image=b"",
+                 data_base=DATA_BASE):
+        if data_image and data_base + len(data_image) > size:
+            raise MemoryError_("data image does not fit in memory")
+        self.size = size
+        self.data = bytearray(size)
+        if data_image:
+            self.data[data_base:data_base + len(data_image)] = data_image
+
+    def _check(self, address, width):
+        if not 0 <= address <= self.size - width:
+            raise MemoryError_(f"address out of range: {address:#x}")
+
+    def read_word(self, address):
+        """Read an unsigned 32-bit word."""
+        self._check(address, 4)
+        return struct.unpack_from("<I", self.data, address)[0]
+
+    def read_word_signed(self, address):
+        self._check(address, 4)
+        return struct.unpack_from("<i", self.data, address)[0]
+
+    def write_word(self, address, value):
+        self._check(address, 4)
+        struct.pack_into("<I", self.data, address, value & 0xFFFFFFFF)
+
+    def read_byte(self, address):
+        self._check(address, 1)
+        return self.data[address]
+
+    def write_byte(self, address, value):
+        self._check(address, 1)
+        self.data[address] = value & 0xFF
+
+    def read_double(self, address):
+        self._check(address, 8)
+        return struct.unpack_from("<d", self.data, address)[0]
+
+    def write_double(self, address, value):
+        self._check(address, 8)
+        struct.pack_into("<d", self.data, address, value)
+
+    def read_words(self, address, count):
+        """Read ``count`` consecutive signed words (handy in tests)."""
+        self._check(address, 4 * count)
+        return list(struct.unpack_from(f"<{count}i", self.data, address))

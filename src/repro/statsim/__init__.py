@@ -1,0 +1,22 @@
+"""Statistical simulation (the paper's Section 2 lineage).
+
+Before performance *cloning*, the same profiles drove statistical
+simulation (Oskin et al., Eeckhout et al., Nussbaum & Smith): synthesize
+a short representative *trace* directly from the statistical profile —
+no executable program — and time it on a performance model.  The paper
+positions cloning as the dissemination-grade successor; this package
+provides the predecessor both for comparison and because it remains the
+fastest way to cull a design space from a profile alone.
+"""
+
+from repro.statsim.simulator import (
+    StatisticalSimulator,
+    statistical_ipc_estimate,
+    synthesize_trace,
+)
+
+__all__ = [
+    "StatisticalSimulator",
+    "statistical_ipc_estimate",
+    "synthesize_trace",
+]

@@ -1,0 +1,166 @@
+"""Set-associative LRU caches (the paper's Section 5.1 substrate).
+
+``Cache`` is a functional hit/miss model with O(1) accesses (per-set
+insertion-ordered dicts give constant-time LRU).  ``simulate_cache``
+replays an address stream; ``CacheHierarchy`` composes L1I/L1D/L2 for the
+pipeline timing model.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level.
+
+    ``assoc`` may be an integer or the string ``"full"`` for a fully
+    associative cache.
+    """
+
+    size: int
+    assoc: object = 1
+    line: int = 32
+
+    def __post_init__(self):
+        if self.size <= 0 or self.line <= 0 or self.size % self.line:
+            raise ValueError(f"bad cache geometry: {self}")
+        ways = self.ways
+        if ways <= 0 or (self.size // self.line) % ways:
+            raise ValueError(f"associativity does not divide lines: {self}")
+
+    @property
+    def lines(self):
+        return self.size // self.line
+
+    @property
+    def ways(self):
+        if self.assoc == "full":
+            return self.lines
+        return int(self.assoc)
+
+    @property
+    def sets(self):
+        return self.lines // self.ways
+
+    def label(self):
+        size = (f"{self.size // 1024}KB" if self.size % 1024 == 0
+                and self.size >= 1024 else f"{self.size}B")
+        assoc = "full" if self.assoc == "full" else f"{self.ways}way"
+        return f"{size}/{assoc}/{self.line}B"
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self):
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self):
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def misses_per_instruction(self, instructions):
+        return self.misses / instructions if instructions else 0.0
+
+
+class Cache:
+    """One cache level with true-LRU replacement.
+
+    Each set is a dict mapping tag → None; dict insertion order is the
+    recency order (oldest first), so LRU update and eviction are O(1).
+    """
+
+    def __init__(self, config):
+        self.config = config
+        self.stats = CacheStats()
+        self._sets = [dict() for _ in range(config.sets)]
+        self._line_shift = config.line.bit_length() - 1
+        self._set_mask = config.sets - 1
+        self._set_is_pow2 = config.sets & (config.sets - 1) == 0
+        self._ways = config.ways
+
+    def access(self, address):
+        """Look up one address; returns True on hit.  Misses allocate."""
+        block = address >> self._line_shift
+        if self._set_is_pow2:
+            index = block & self._set_mask
+        else:
+            index = block % len(self._sets)
+        line_set = self._sets[index]
+        self.stats.accesses += 1
+        if block in line_set:
+            del line_set[block]  # refresh recency
+            line_set[block] = None
+            return True
+        self.stats.misses += 1
+        if len(line_set) >= self._ways:
+            del line_set[next(iter(line_set))]
+        line_set[block] = None
+        return False
+
+    def contains(self, address):
+        """Non-mutating lookup (for tests and invariant checks)."""
+        block = address >> self._line_shift
+        if self._set_is_pow2:
+            index = block & self._set_mask
+        else:
+            index = block % len(self._sets)
+        return block in self._sets[index]
+
+    def resident_lines(self):
+        return sum(len(line_set) for line_set in self._sets)
+
+    def flush(self):
+        for line_set in self._sets:
+            line_set.clear()
+        self.stats = CacheStats()
+
+
+def simulate_cache(addresses, config):
+    """Replay an address stream; returns the final :class:`CacheStats`.
+
+    ``addresses`` may be any iterable of ints (numpy arrays are converted
+    once for speed).
+    """
+    cache = Cache(config)
+    access = cache.access
+    if hasattr(addresses, "tolist"):
+        addresses = addresses.tolist()
+    for address in addresses:
+        access(address)
+    return cache.stats
+
+
+class CacheHierarchy:
+    """L1I + L1D + unified L2 with simple additive latencies."""
+
+    def __init__(self, l1i, l1d, l2, l1_latency=1, l2_latency=8,
+                 memory_latency=40):
+        self.l1i = Cache(l1i)
+        self.l1d = Cache(l1d)
+        self.l2 = Cache(l2) if l2 is not None else None
+        self.l1_latency = l1_latency
+        self.l2_latency = l2_latency
+        self.memory_latency = memory_latency
+
+    def access_instruction(self, address):
+        """Fetch-side access; returns latency in cycles."""
+        if self.l1i.access(address):
+            return self.l1_latency
+        return self._level2(address)
+
+    def access_data(self, address):
+        """Load/store access; returns latency in cycles."""
+        if self.l1d.access(address):
+            return self.l1_latency
+        return self._level2(address)
+
+    def _level2(self, address):
+        if self.l2 is None:
+            return self.memory_latency
+        if self.l2.access(address):
+            return self.l2_latency
+        return self.l2_latency + self.memory_latency

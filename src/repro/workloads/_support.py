@@ -1,0 +1,70 @@
+"""Shared utilities for the workload corpus.
+
+Workloads are real algorithm kernels hand-written in SRISC assembly with
+deterministic, seeded input data baked into their ``.data`` sections —
+the stand-in for the paper's proprietary MiBench/MediaBench binaries
+(see DESIGN.md, substitution table).
+"""
+
+
+class Lcg:
+    """Deterministic 32-bit linear congruential generator for input data.
+
+    Numerical Recipes constants; every workload seeds its own instance so
+    inputs are reproducible and independent.
+    """
+
+    def __init__(self, seed):
+        self.state = seed & 0xFFFFFFFF
+
+    def next_u32(self):
+        self.state = (self.state * 1664525 + 1013904223) & 0xFFFFFFFF
+        return self.state
+
+    def below(self, bound):
+        """Uniform integer in [0, bound)."""
+        return self.next_u32() % bound
+
+    def words(self, count, bound=None):
+        if bound is None:
+            return [self.next_u32() & 0x7FFFFFFF for _ in range(count)]
+        return [self.below(bound) for _ in range(count)]
+
+    def bytes(self, count, bound=256):
+        return [self.below(bound) for _ in range(count)]
+
+    def doubles(self, count, low=-1.0, high=1.0):
+        span = high - low
+        return [low + span * (self.next_u32() / 2 ** 32)
+                for _ in range(count)]
+
+
+def word_lines(label, values, per_line=12):
+    """Render ``label: .word v, v, ...`` wrapped for readability."""
+    lines = [f"{label}:"]
+    for start in range(0, len(values), per_line):
+        chunk = ", ".join(str(v) for v in values[start:start + per_line])
+        lines.append(f"    .word {chunk}")
+    if not values:
+        lines.append("    .word 0")
+    return "\n".join(lines)
+
+
+def byte_lines(label, values, per_line=24):
+    lines = [f"{label}:"]
+    for start in range(0, len(values), per_line):
+        chunk = ", ".join(str(v) for v in values[start:start + per_line])
+        lines.append(f"    .byte {chunk}")
+    if not values:
+        lines.append("    .byte 0")
+    return "\n".join(lines)
+
+
+def double_lines(label, values, per_line=6):
+    lines = ["    .align 8", f"{label}:"]
+    for start in range(0, len(values), per_line):
+        chunk = ", ".join(f"{v!r}" for v in values[start:start + per_line])
+        lines.append(f"    .double {chunk}")
+    if not values:
+        lines.append("    .double 0.0")
+    return "\n".join(lines)

@@ -1,0 +1,323 @@
+"""Automotive/industrial-control kernels (MiBench stand-ins):
+basicmath, bitcount, qsort, susan."""
+
+from repro.workloads._support import Lcg, byte_lines, double_lines, word_lines
+
+
+def basicmath_source():
+    """Cubic-root solving (Newton), integer square roots, angle conversion.
+
+    Mirrors MiBench ``basicmath``: simple FP math a vehicle controller
+    would run, with no fancy data structures.
+    """
+    rng = Lcg(0xB451C)
+    n_cubics = 280
+    coeffs = []
+    for _ in range(n_cubics):
+        coeffs.extend([round(v, 6) for v in rng.doubles(3, -3.0, 3.0)])
+    n_isqrt = 380
+    isq_in = rng.words(n_isqrt, 1 << 26)
+    n_deg = 600
+    degrees = [round(v, 6) for v in rng.doubles(n_deg, 0.0, 360.0)]
+
+    return f"""
+    .data
+{double_lines("coeffs", coeffs)}
+roots:  .space {n_cubics * 8}
+{word_lines("isq_in", isq_in)}
+isq_out: .space {n_isqrt * 4}
+{double_lines("degs", degrees)}
+rads:   .space {n_deg * 8}
+    .text
+main:
+    # --- cubic roots by Newton iteration -------------------------------
+    la   r4, coeffs
+    la   r10, roots
+    li   r5, 0
+    li   r6, {n_cubics}
+cubic_loop:
+    flw  f1, 0(r4)          # a
+    flw  f2, 8(r4)          # b
+    flw  f3, 16(r4)         # c
+    fli  f4, 1.0            # x
+    fli  f8, 3.0
+    li   r7, 0
+    li   r8, 12
+newton:
+    fadd f5, f4, f1         # ((x+a)x+b)x+c
+    fmul f5, f5, f4
+    fadd f5, f5, f2
+    fmul f5, f5, f4
+    fadd f5, f5, f3
+    fmul f6, f8, f4         # (3x+2a)x+b
+    fadd f7, f1, f1
+    fadd f6, f6, f7
+    fmul f6, f6, f4
+    fadd f6, f6, f2
+    fdiv f5, f5, f6
+    fsub f4, f4, f5
+    addi r7, r7, 1
+    blt  r7, r8, newton
+    fsw  f4, 0(r10)
+    addi r10, r10, 8
+    addi r4, r4, 24
+    addi r5, r5, 1
+    blt  r5, r6, cubic_loop
+
+    # --- integer square roots (bit-by-bit) ------------------------------
+    la   r4, isq_in
+    la   r10, isq_out
+    li   r5, 0
+    li   r6, {n_isqrt}
+isq_loop:
+    lw   r7, 0(r4)          # x
+    li   r8, 0              # res
+    li   r9, 1073741824     # bit = 1 << 30
+isq_shrink:
+    bleu r9, r7, isq_bits
+    srli r9, r9, 2
+    bne  r9, r0, isq_shrink
+isq_bits:
+    beq  r9, r0, isq_done
+    add  r11, r8, r9        # t = res + bit
+    srli r8, r8, 1
+    bltu r7, r11, isq_next
+    sub  r7, r7, r11
+    add  r8, r8, r9
+isq_next:
+    srli r9, r9, 2
+    j    isq_bits
+isq_done:
+    sw   r8, 0(r10)
+    addi r10, r10, 4
+    addi r4, r4, 4
+    addi r5, r5, 1
+    blt  r5, r6, isq_loop
+
+    # --- degrees to radians ---------------------------------------------
+    la   r4, degs
+    la   r10, rads
+    li   r5, 0
+    li   r6, {n_deg}
+    fli  f9, 0.017453292519943295
+deg_loop:
+    flw  f1, 0(r4)
+    fmul f1, f1, f9
+    fsw  f1, 0(r10)
+    addi r4, r4, 8
+    addi r10, r10, 8
+    addi r5, r5, 1
+    blt  r5, r6, deg_loop
+    halt
+"""
+
+
+def bitcount_source():
+    """Population counts by Kernighan's loop and nibble-table lookup."""
+    rng = Lcg(0xB17C)
+    n = 640
+    data = rng.words(n)
+    table = [bin(v).count("1") for v in range(16)]
+
+    return f"""
+    .data
+{word_lines("data", data)}
+{word_lines("nibtab", table)}
+counts: .space {2 * 4}
+    .text
+main:
+    # --- method 1: Kernighan (clears lowest set bit) --------------------
+    la   r4, data
+    li   r5, 0              # index
+    li   r6, {n}
+    li   r7, 0              # total
+k_loop:
+    lw   r8, 0(r4)
+k_inner:
+    beq  r8, r0, k_next
+    addi r9, r8, -1
+    and  r8, r8, r9
+    addi r7, r7, 1
+    j    k_inner
+k_next:
+    addi r4, r4, 4
+    addi r5, r5, 1
+    blt  r5, r6, k_loop
+    la   r10, counts
+    sw   r7, 0(r10)
+
+    # --- method 2: 4-bit table lookups ----------------------------------
+    la   r4, data
+    la   r11, nibtab
+    li   r5, 0
+    li   r7, 0
+t_loop:
+    lw   r8, 0(r4)
+    li   r12, 0             # nibble index
+    li   r13, 8
+t_inner:
+    andi r9, r8, 15
+    slli r9, r9, 2
+    add  r9, r11, r9
+    lw   r9, 0(r9)
+    add  r7, r7, r9
+    srli r8, r8, 4
+    addi r12, r12, 1
+    blt  r12, r13, t_inner
+t_next:
+    addi r4, r4, 4
+    addi r5, r5, 1
+    blt  r5, r6, t_loop
+    la   r10, counts
+    sw   r7, 4(r10)
+    halt
+"""
+
+
+def qsort_source():
+    """Iterative quicksort (Lomuto partition, explicit stack)."""
+    rng = Lcg(0x5047)
+    n = 1024
+    data = rng.words(n, 1 << 20)
+
+    return f"""
+    .data
+{word_lines("arr", data)}
+nelem:  .word {n}
+stack:  .space 4096
+    .text
+main:
+    la   r4, arr
+    la   r5, stack          # stack pointer (grows up, pairs of lo,hi)
+    li   r6, 0              # lo = 0
+    li   r7, {n - 1}        # hi = n-1
+    sw   r6, 0(r5)
+    sw   r7, 4(r5)
+    addi r5, r5, 8
+qs_loop:
+    la   r8, stack
+    bleu r5, r8, qs_done    # stack empty?
+    addi r5, r5, -8
+    lw   r6, 0(r5)          # lo
+    lw   r7, 4(r5)          # hi
+    bge  r6, r7, qs_loop
+    # Lomuto partition: pivot = arr[hi]
+    slli r9, r7, 2
+    add  r9, r4, r9
+    lw   r10, 0(r9)         # pivot
+    addi r11, r6, -1        # i
+    add  r12, r6, r0        # j
+part_loop:
+    bge  r12, r7, part_done
+    slli r13, r12, 2
+    add  r13, r4, r13
+    lw   r14, 0(r13)        # arr[j]
+    bgt  r14, r10, part_skip
+    addi r11, r11, 1
+    slli r15, r11, 2
+    add  r15, r4, r15
+    lw   r16, 0(r15)        # swap arr[i], arr[j]
+    sw   r14, 0(r15)
+    sw   r16, 0(r13)
+part_skip:
+    addi r12, r12, 1
+    j    part_loop
+part_done:
+    addi r11, r11, 1        # p = i+1
+    slli r15, r11, 2
+    add  r15, r4, r15
+    lw   r16, 0(r15)        # swap arr[p], arr[hi]
+    lw   r17, 0(r9)
+    sw   r17, 0(r15)
+    sw   r16, 0(r9)
+    # push (lo, p-1) and (p+1, hi)
+    addi r13, r11, -1
+    sw   r6, 0(r5)
+    sw   r13, 4(r5)
+    addi r5, r5, 8
+    addi r13, r11, 1
+    sw   r13, 0(r5)
+    sw   r7, 4(r5)
+    addi r5, r5, 8
+    j    qs_loop
+qs_done:
+    halt
+"""
+
+
+def susan_source():
+    """SUSAN-style image smoothing: thresholded cross-neighbourhood mean.
+
+    The image is large enough (72x48) that the sweep's cache behaviour is
+    capacity-driven across the paper's 256B-16KB range rather than pure
+    conflict noise.
+    """
+    rng = Lcg(0x5054)
+    width, height = 72, 48
+    image = rng.bytes(width * height)
+    threshold = 24
+
+    # The cross-shaped window is unrolled into five distinct static
+    # loads, exactly as a compiler emits fixed-offset neighbourhood code;
+    # each then carries a clean per-pixel stride for the profiler.
+    neighbour_checks = []
+    for tag, offset in (("n", -width), ("w", -1), ("c", 0), ("e", 1),
+                        ("s", width)):
+        neighbour_checks.append(f"""\
+    lbu  r18, {offset}(r11)
+    sub  r19, r18, r12
+    bge  r19, r0, win_abs_{tag}
+    neg  r19, r19
+win_abs_{tag}:
+    bge  r19, r20, win_skip_{tag}
+    add  r13, r13, r18
+    addi r14, r14, 1
+win_skip_{tag}:""")
+    window_code = "\n".join(neighbour_checks)
+    return f"""
+    .data
+{byte_lines("img", image)}
+    .align 4
+out:    .space {width * height}
+    .text
+main:
+    la   r4, img
+    la   r5, out
+    li   r20, {threshold}
+    li   r6, 1              # y
+    li   r7, {height - 1}
+row_loop:
+    li   r8, 1              # x
+    li   r9, {width - 1}
+col_loop:
+    # centre pixel address = img + y*width + x
+    li   r10, {width}
+    mul  r10, r6, r10
+    add  r10, r10, r8
+    add  r11, r4, r10
+    lbu  r12, 0(r11)        # centre brightness
+    li   r13, 0             # sum
+    li   r14, 0             # count
+{window_code}
+    # output = sum / count (count >= 1: centre always passes)
+    div  r21, r13, r14
+    add  r22, r5, r10
+    sb   r21, 0(r22)
+    addi r8, r8, 1
+    blt  r8, r9, col_loop
+    addi r6, r6, 1
+    blt  r6, r7, row_loop
+    halt
+"""
+
+
+SPECS = [
+    ("basicmath", "automotive", "mibench", basicmath_source,
+     "Newton cubic roots, integer sqrt, angle conversion"),
+    ("bitcount", "automotive", "mibench", bitcount_source,
+     "bit counting by Kernighan loop and nibble tables"),
+    ("qsort", "automotive", "mibench", qsort_source,
+     "iterative quicksort with explicit stack"),
+    ("susan", "automotive", "mibench", susan_source,
+     "thresholded 3x3 image smoothing"),
+]

@@ -1,0 +1,302 @@
+"""Consumer-electronics kernels (MiBench stand-ins): jpeg, lame, typeset."""
+
+import math
+
+from repro.workloads._support import Lcg, byte_lines, double_lines, word_lines
+
+_JPEG_QUANT = [
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56, 14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+]
+
+
+def jpeg_source():
+    """JPEG encoder core: 8x8 integer DCT plus quantization per block."""
+    rng = Lcg(0x1E6)
+    width = height = 32  # 16 blocks of 8x8
+    image = rng.bytes(width * height)
+    # fixed-point cosine table: C[u][x] = round(cos((2x+1)u*pi/16) * 1024)
+    cosines = []
+    for u in range(8):
+        for x in range(8):
+            cosines.append(round(math.cos((2 * x + 1) * u * math.pi / 16)
+                                 * 1024))
+    n_blocks = (width // 8) * (height // 8)
+
+    return f"""
+    .data
+{byte_lines("img", image)}
+    .align 4
+{word_lines("costab", cosines)}
+{word_lines("quant", _JPEG_QUANT)}
+tmp:    .space {64 * 4}
+coef:   .space {n_blocks * 64 * 4}
+    .text
+main:
+    li   r4, 0              # block index
+    li   r5, {n_blocks}
+blk_loop:
+    # block origin: (bx, by) = (blk % 4, blk / 4) * 8
+    andi r6, r4, 3
+    slli r6, r6, 3          # bx
+    srli r7, r4, 2
+    slli r7, r7, 3          # by
+    la   r8, img
+    li   r9, {width}
+    mul  r10, r7, r9
+    add  r10, r10, r6
+    add  r8, r8, r10        # block base in image
+
+    # ---- 1D DCT over rows into tmp ---------------------------------------
+    la   r11, costab
+    la   r12, tmp
+    li   r13, 0             # row y
+row_loop:
+    li   r14, 0             # u
+u_loop:
+    li   r15, 0             # acc
+    li   r16, 0             # x
+x_loop:
+    li   r17, {width}
+    mul  r18, r13, r17
+    add  r18, r18, r16
+    add  r18, r8, r18
+    lbu  r19, 0(r18)
+    addi r19, r19, -128
+    slli r20, r14, 3
+    add  r20, r20, r16
+    slli r20, r20, 2
+    add  r20, r11, r20
+    lw   r21, 0(r20)
+    mul  r19, r19, r21
+    add  r15, r15, r19
+    addi r16, r16, 1
+    li   r17, 8
+    blt  r16, r17, x_loop
+    srai r15, r15, 10
+    # tmp[y*8 + u] = acc
+    slli r20, r13, 3
+    add  r20, r20, r14
+    slli r20, r20, 2
+    add  r20, r12, r20
+    sw   r15, 0(r20)
+    addi r14, r14, 1
+    li   r17, 8
+    blt  r14, r17, u_loop
+    addi r13, r13, 1
+    li   r17, 8
+    blt  r13, r17, row_loop
+
+    # ---- 1D DCT over columns + quantization into coef ---------------------
+    la   r22, coef
+    li   r23, 256           # 64 words per block
+    mul  r24, r4, r23
+    add  r22, r22, r24      # coef base for this block
+    la   r25, quant
+    li   r14, 0             # v
+v_loop:
+    li   r16, 0             # column u
+col_loop:
+    li   r15, 0             # acc
+    li   r13, 0             # y
+y_loop:
+    slli r20, r13, 3
+    add  r20, r20, r16
+    slli r20, r20, 2
+    add  r20, r12, r20
+    lw   r19, 0(r20)        # tmp[y][u]
+    slli r20, r14, 3
+    add  r20, r20, r13
+    slli r20, r20, 2
+    add  r20, r11, r20
+    lw   r21, 0(r20)        # cos[v][y]
+    mul  r19, r19, r21
+    add  r15, r15, r19
+    addi r13, r13, 1
+    li   r17, 8
+    blt  r13, r17, y_loop
+    srai r15, r15, 10
+    # quantize
+    slli r20, r14, 3
+    add  r20, r20, r16
+    slli r21, r20, 2
+    add  r21, r25, r21
+    lw   r18, 0(r21)
+    div  r15, r15, r18
+    slli r21, r20, 2
+    add  r21, r22, r21
+    sw   r15, 0(r21)
+    addi r16, r16, 1
+    li   r17, 8
+    blt  r16, r17, col_loop
+    addi r14, r14, 1
+    li   r17, 8
+    blt  r14, r17, v_loop
+    addi r4, r4, 1
+    blt  r4, r5, blk_loop
+    halt
+"""
+
+
+def lame_source():
+    """MP3 encoder front end: windowed polyphase subband dot products."""
+    rng = Lcg(0x1A3E)
+    window = [round(v, 9) for v in
+              (math.sin(math.pi * i / 256) * 0.9 for i in range(256))]
+    n_granules = 14
+    granule = 96
+    pcm = [round(v, 9) for v in rng.doubles(n_granules * granule + 256,
+                                            -1.0, 1.0)]
+    n_subbands = 24
+    taps = 12
+
+    return f"""
+    .data
+{double_lines("win", window)}
+{double_lines("pcm", pcm)}
+sub:    .space {n_granules * n_subbands * 8}
+    .text
+main:
+    la   r4, pcm
+    la   r5, win
+    la   r6, sub
+    li   r7, 0              # granule
+    li   r8, {n_granules}
+gran_loop:
+    li   r9, {granule * 8}
+    mul  r10, r7, r9
+    la   r4, pcm
+    add  r4, r4, r10        # granule base
+    li   r11, 0             # subband s
+sb_loop:
+    fli  f1, 0.0            # accumulator
+    li   r12, 0             # tap
+tap_loop:
+    # x[s*4 + tap*8] * win[(s*taps + tap) & 255]
+    slli r13, r11, 2
+    slli r14, r12, 3
+    add  r13, r13, r14
+    slli r13, r13, 3
+    add  r13, r4, r13
+    flw  f2, 0(r13)
+    li   r14, {taps}
+    mul  r15, r11, r14
+    add  r15, r15, r12
+    andi r15, r15, 255
+    slli r15, r15, 3
+    add  r15, r5, r15
+    flw  f3, 0(r15)
+    fmul f2, f2, f3
+    fadd f1, f1, f2
+    addi r12, r12, 1
+    li   r14, {taps}
+    blt  r12, r14, tap_loop
+    # store subband sample
+    li   r14, {n_subbands * 8}
+    mul  r15, r7, r14
+    slli r16, r11, 3
+    add  r15, r15, r16
+    add  r15, r6, r15
+    fsw  f1, 0(r15)
+    addi r11, r11, 1
+    li   r14, {n_subbands}
+    blt  r11, r14, sb_loop
+    addi r7, r7, 1
+    blt  r7, r8, gran_loop
+    halt
+"""
+
+
+def typeset_source():
+    """Greedy paragraph line breaking with quadratic badness (TeX style)."""
+    rng = Lcg(0x7E5E)
+    n_words = 2200
+    widths = [2 + rng.below(12) for _ in range(n_words)]
+    line_width = 62
+
+    return f"""
+    .data
+{word_lines("widths", widths)}
+breaks: .space {n_words * 4}
+badsum: .word 0
+lines:  .word 0
+    .text
+main:
+    la   r4, widths
+    la   r5, breaks
+    li   r6, 0              # word index
+    li   r7, {n_words}
+    li   r8, 0              # current line length
+    li   r9, 0              # badness total
+    li   r10, 0             # line count
+word_loop:
+    lw   r11, 0(r4)
+    # space before word unless line empty
+    beq  r8, r0, no_space
+    addi r8, r8, 1
+no_space:
+    add  r12, r8, r11
+    li   r13, {line_width}
+    ble  r12, r13, fits
+    # break line: badness = (width - len)^2, cubed for very short lines
+    sub  r14, r13, r8
+    mul  r15, r14, r14
+    li   r16, 20
+    blt  r14, r16, mild
+    mul  r15, r15, r14      # heavily penalize loose lines
+mild:
+    add  r9, r9, r15
+    addi r10, r10, 1
+    # record break position
+    slli r16, r10, 2
+    add  r16, r5, r16
+    sw   r6, 0(r16)
+    add  r8, r11, r0        # word starts new line
+    j    word_next
+fits:
+    add  r8, r12, r0
+word_next:
+    addi r4, r4, 4
+    addi r6, r6, 1
+    blt  r6, r7, word_loop
+    la   r16, badsum
+    sw   r9, 0(r16)
+    la   r16, lines
+    sw   r10, 0(r16)
+
+    # ---- justification pass: distribute slack over recorded lines --------
+    la   r5, breaks
+    li   r6, 1
+    add  r7, r10, r0
+just_loop:
+    bge  r6, r7, just_done
+    slli r11, r6, 2
+    add  r11, r5, r11
+    lw   r12, 0(r11)        # break word index
+    lw   r13, -4(r11)       # previous break
+    sub  r14, r12, r13      # words in line
+    beq  r14, r0, just_next
+    li   r15, {line_width}
+    div  r16, r15, r14      # slack per word
+    mul  r17, r16, r14
+    sub  r17, r15, r17      # remainder
+    add  r18, r16, r17
+    sw   r18, 0(r11)        # overwrite with spacing decision
+just_next:
+    addi r6, r6, 1
+    j    just_loop
+just_done:
+    halt
+"""
+
+
+SPECS = [
+    ("jpeg", "consumer", "mibench", jpeg_source,
+     "8x8 integer DCT and quantization"),
+    ("lame", "consumer", "mibench", lame_source,
+     "windowed polyphase subband analysis"),
+    ("typeset", "consumer", "mibench", typeset_source,
+     "greedy line breaking with badness"),
+]

@@ -1,0 +1,509 @@
+"""Media-processing kernels (MediaBench stand-ins):
+mpeg2dec, g721, epic, pegwit."""
+
+import math
+
+from repro.workloads._support import Lcg, byte_lines, word_lines
+
+
+def mpeg2dec_source():
+    """MPEG-2 decoder core: integer IDCT plus motion compensation.
+
+    IDCT blocks are reconstructed with a fixed-point cosine table;
+    motion compensation averages a reference region into the frame with
+    saturation, like the decoder's half-pel prediction path.
+    """
+    rng = Lcg(0x3E62)
+    cosines = []
+    for u in range(8):
+        for x in range(8):
+            cosines.append(round(math.cos((2 * x + 1) * u * math.pi / 16)
+                                 * 1024))
+    n_idct = 8
+    coeffs = []
+    for _ in range(n_idct * 64):
+        # sparse high-frequency content, like quantized real blocks
+        coeffs.append(rng.below(160) - 80 if rng.below(100) < 35 else 0)
+    width = 48
+    height = 32
+    reference = rng.bytes(width * height)
+    n_mc = 18
+    motion = []
+    for _ in range(n_mc):
+        motion.append(rng.below(width - 20))   # src x
+        motion.append(rng.below(height - 20))  # src y
+        motion.append(rng.below(width - 18))   # dst x
+        motion.append(rng.below(height - 18))  # dst y
+
+    return f"""
+    .data
+{word_lines("costab", cosines)}
+{word_lines("coeffs", coeffs)}
+{byte_lines("ref", reference)}
+    .align 4
+{word_lines("mv", motion)}
+frame:  .space {width * height}
+tmp:    .space {64 * 4}
+    .text
+main:
+    # ---- IDCT over coefficient blocks ------------------------------------
+    li   r4, 0
+    li   r5, {n_idct}
+idct_loop:
+    la   r6, coeffs
+    li   r7, 256
+    mul  r8, r4, r7
+    add  r6, r6, r8         # block base
+    la   r9, costab
+    la   r10, tmp
+    # rows: tmp[x][v] = sum_u coef[x][u] * cos[u][v]
+    li   r11, 0             # x
+irow_loop:
+    li   r12, 0             # v
+iv_loop:
+    li   r13, 0             # acc
+    li   r14, 0             # u
+iu_loop:
+    slli r15, r11, 3
+    add  r15, r15, r14
+    slli r15, r15, 2
+    add  r15, r6, r15
+    lw   r16, 0(r15)        # coef[x][u]
+    beq  r16, r0, iu_next   # sparse skip (real decoders do this)
+    slli r15, r14, 3
+    add  r15, r15, r12
+    slli r15, r15, 2
+    add  r15, r9, r15
+    lw   r17, 0(r15)
+    mul  r16, r16, r17
+    add  r13, r13, r16
+iu_next:
+    addi r14, r14, 1
+    li   r15, 8
+    blt  r14, r15, iu_loop
+    srai r13, r13, 10
+    slli r15, r11, 3
+    add  r15, r15, r12
+    slli r15, r15, 2
+    add  r15, r10, r15
+    sw   r13, 0(r15)
+    addi r12, r12, 1
+    li   r15, 8
+    blt  r12, r15, iv_loop
+    addi r11, r11, 1
+    li   r15, 8
+    blt  r11, r15, irow_loop
+    addi r4, r4, 1
+    blt  r4, r5, idct_loop
+
+    # ---- motion compensation ----------------------------------------------
+    li   r4, 0
+    li   r5, {n_mc}
+mc_loop:
+    la   r6, mv
+    slli r7, r4, 4
+    add  r6, r6, r7
+    lw   r8, 0(r6)          # sx
+    lw   r9, 4(r6)          # sy
+    lw   r10, 8(r6)         # dx
+    lw   r11, 12(r6)        # dy
+    li   r12, 0             # row
+mc_row:
+    li   r13, 0             # col
+mc_col:
+    # src pixel (sx+col, sy+row), plus half-pel neighbour
+    add  r14, r9, r12
+    li   r15, {width}
+    mul  r14, r14, r15
+    add  r14, r14, r8
+    add  r14, r14, r13
+    la   r16, ref
+    add  r16, r16, r14
+    lbu  r17, 0(r16)
+    lbu  r18, 1(r16)        # half-pel average
+    add  r17, r17, r18
+    addi r17, r17, 1
+    srli r17, r17, 1
+    # blend into frame with saturation
+    add  r14, r11, r12
+    li   r15, {width}
+    mul  r14, r14, r15
+    add  r14, r14, r10
+    add  r14, r14, r13
+    la   r16, frame
+    add  r16, r16, r14
+    lbu  r18, 0(r16)
+    add  r17, r17, r18
+    li   r19, 255
+    ble  r17, r19, mc_sat
+    add  r17, r19, r0
+mc_sat:
+    sb   r17, 0(r16)
+    addi r13, r13, 1
+    li   r19, 16
+    blt  r13, r19, mc_col
+    addi r12, r12, 1
+    blt  r12, r19, mc_row
+    addi r4, r4, 1
+    blt  r4, r5, mc_loop
+    halt
+"""
+
+
+def g721_source():
+    """G.721 ADPCM: adaptive 6-tap predictor with sign-sign LMS update."""
+    rng = Lcg(0x6721)
+    n = 1300
+    samples = []
+    phase = 0.0
+    for i in range(n):
+        phase += 0.09 + 0.04 * (rng.below(64) / 64.0)
+        samples.append(int(5000 * math.sin(phase)) + rng.below(500) - 250)
+
+    return f"""
+    .data
+{word_lines("pcm", samples)}
+hist:   .space {6 * 4}
+coef:   .space {6 * 4}
+codes:  .space {n}
+    .text
+main:
+    la   r4, pcm
+    la   r5, hist
+    la   r6, coef
+    la   r7, codes
+    li   r8, 0              # i
+    li   r9, {n}
+samp_loop:
+    # predict: sum coef[k] * hist[k] >> 8
+    li   r10, 0             # acc
+    li   r11, 0             # k
+tap_loop:
+    slli r12, r11, 2
+    add  r13, r5, r12
+    lw   r14, 0(r13)
+    add  r13, r6, r12
+    lw   r15, 0(r13)
+    mul  r14, r14, r15
+    add  r10, r10, r14
+    addi r11, r11, 1
+    li   r12, 6
+    blt  r11, r12, tap_loop
+    srai r10, r10, 8        # prediction
+    lw   r16, 0(r4)         # sample
+    sub  r17, r16, r10      # error
+    # 4-bit quantization of error by shifting
+    li   r18, 0
+    bgez r17, g_pos
+    li   r18, 8
+    neg  r17, r17
+g_pos:
+    srai r19, r17, 6
+    li   r20, 7
+    ble  r19, r20, g_clamped
+    add  r19, r20, r0
+g_clamped:
+    or   r18, r18, r19
+    sb   r18, 0(r7)
+    # sign-sign LMS: coef[k] += sign(err) * sign(hist[k]) * 2
+    li   r11, 0
+upd_loop:
+    slli r12, r11, 2
+    add  r13, r5, r12
+    lw   r14, 0(r13)        # hist[k]
+    add  r15, r6, r12
+    lw   r20, 0(r15)
+    # step = +2 if signs equal else -2
+    xor  r21, r14, r17
+    andi r22, r18, 8
+    beq  r22, r0, upd_sign
+    xori r21, r21, -2147483648
+upd_sign:
+    bltz r21, upd_minus
+    addi r20, r20, 2
+    j    upd_store
+upd_minus:
+    addi r20, r20, -2
+upd_store:
+    # clamp coefficients to a stable range
+    li   r22, 320
+    ble  r20, r22, upd_hi
+    add  r20, r22, r0
+upd_hi:
+    li   r22, -320
+    bge  r20, r22, upd_wr
+    add  r20, r22, r0
+upd_wr:
+    sw   r20, 0(r15)
+    addi r11, r11, 1
+    li   r12, 6
+    blt  r11, r12, upd_loop
+    # shift history, insert reconstructed sample
+    li   r11, 5
+hist_loop:
+    slli r12, r11, 2
+    add  r13, r5, r12
+    lw   r14, -4(r13)
+    sw   r14, 0(r13)
+    addi r11, r11, -1
+    bgtz r11, hist_loop
+    # reconstructed = prediction + dequantized error
+    andi r21, r18, 7
+    slli r21, r21, 6
+    andi r22, r18, 8
+    beq  r22, r0, rec_add
+    sub  r21, r10, r21
+    j    rec_store
+rec_add:
+    add  r21, r10, r21
+rec_store:
+    sw   r21, 0(r5)
+    addi r4, r4, 4
+    addi r7, r7, 1
+    addi r8, r8, 1
+    blt  r8, r9, samp_loop
+    halt
+"""
+
+
+def epic_source():
+    """EPIC-style wavelet pyramid: separable 3-tap filtering, 3 levels."""
+    rng = Lcg(0xE61C)
+    size = 64
+    image = rng.bytes(size * size)
+
+    return f"""
+    .data
+{byte_lines("img", image)}
+    .align 4
+pyr:    .space {size * size * 4}
+low:    .space {size * size * 4}
+    .text
+main:
+    # widen bytes into the working plane
+    la   r4, img
+    la   r5, pyr
+    li   r6, 0
+    li   r7, {size * size}
+widen_loop:
+    lbu  r8, 0(r4)
+    sw   r8, 0(r5)
+    addi r4, r4, 1
+    addi r5, r5, 4
+    addi r6, r6, 1
+    blt  r6, r7, widen_loop
+
+    li   r9, {size}         # current level size
+    li   r26, 3             # levels
+level_loop:
+    # ---- horizontal 3-tap lowpass, subsample by 2 into `low` ------------
+    la   r5, pyr
+    la   r10, low
+    li   r11, 0             # row
+h_row:
+    li   r12, 0             # output col
+h_col:
+    slli r13, r12, 1        # input col = 2*oc
+    li   r14, {size}
+    mul  r15, r11, r14
+    add  r15, r15, r13
+    slli r15, r15, 2
+    add  r15, r5, r15
+    lw   r16, 0(r15)        # centre
+    slli r16, r16, 1
+    bne  r13, r0, h_left
+    li   r17, 0
+    j    h_right
+h_left:
+    lw   r17, -4(r15)
+h_right:
+    add  r16, r16, r17
+    lw   r17, 4(r15)
+    add  r16, r16, r17
+    srai r16, r16, 2
+    srli r18, r9, 1
+    mul  r19, r11, r18
+    add  r19, r19, r12
+    slli r19, r19, 2
+    add  r19, r10, r19
+    sw   r16, 0(r19)
+    addi r12, r12, 1
+    blt  r12, r18, h_col
+    addi r11, r11, 1
+    blt  r11, r9, h_row
+
+    # ---- vertical 3-tap lowpass, subsample by 2 back into `pyr` ----------
+    srli r18, r9, 1         # half width
+    li   r11, 0             # output row
+v_row:
+    li   r12, 0             # col
+v_col:
+    slli r13, r11, 1        # input row
+    mul  r15, r13, r18
+    add  r15, r15, r12
+    slli r15, r15, 2
+    add  r15, r10, r15
+    lw   r16, 0(r15)
+    slli r16, r16, 1
+    beq  r13, r0, v_top
+    slli r20, r18, 2
+    sub  r21, r15, r20
+    lw   r17, 0(r21)
+    j    v_bottom
+v_top:
+    li   r17, 0
+v_bottom:
+    add  r16, r16, r17
+    slli r20, r18, 2
+    add  r21, r15, r20
+    lw   r17, 0(r21)
+    add  r16, r16, r17
+    srai r16, r16, 2
+    mul  r19, r11, r18
+    add  r19, r19, r12
+    slli r19, r19, 2
+    add  r19, r5, r19
+    sw   r16, 0(r19)
+    addi r12, r12, 1
+    blt  r12, r18, v_col
+    addi r11, r11, 1
+    srli r20, r9, 1
+    blt  r11, r20, v_row
+
+    srli r9, r9, 1          # next pyramid level
+    addi r26, r26, -1
+    bgtz r26, level_loop
+    halt
+"""
+
+
+def pegwit_source():
+    """Public-key arithmetic core: multi-precision modular multiply.
+
+    16-limb (512-bit) schoolbook multiplication with carry propagation
+    and a shift-subtract reduction sweep — the hot loop of pegwit-style
+    elliptic/exponentiation code.
+    """
+    rng = Lcg(0x9E6)
+    limbs = 16
+    n_ops = 22
+    operands = rng.words(2 * limbs * n_ops)
+    modulus = rng.words(limbs)
+    modulus[-1] |= 0x40000000  # keep the modulus large
+
+    return f"""
+    .data
+{word_lines("ops", operands)}
+{word_lines("modu", modulus)}
+prod:   .space {(2 * limbs + 1) * 4}
+    .text
+main:
+    li   r4, 0              # operation index
+    li   r5, {n_ops}
+op_loop:
+    la   r6, ops
+    li   r7, {2 * limbs * 4}
+    mul  r8, r4, r7
+    add  r6, r6, r8         # a = base, b = base + limbs*4
+    addi r7, r6, {limbs * 4}
+    # clear product
+    la   r9, prod
+    li   r10, 0
+clr_loop:
+    slli r11, r10, 2
+    add  r11, r9, r11
+    sw   r0, 0(r11)
+    addi r10, r10, 1
+    li   r11, {2 * limbs + 1}
+    blt  r10, r11, clr_loop
+    # schoolbook multiply with 16-bit half-limbs to keep carries exact
+    li   r10, 0             # i
+mul_i:
+    slli r12, r10, 2
+    add  r12, r6, r12
+    lw   r13, 0(r12)        # a[i]
+    srli r14, r13, 16       # a_hi
+    li   r28, 65535
+    and  r13, r13, r28      # a_lo
+    li   r15, 0             # j
+mul_j:
+    slli r16, r15, 2
+    add  r16, r7, r16
+    lw   r17, 0(r16)        # b[j]
+    srli r18, r17, 16       # b_hi
+    and  r17, r17, r28      # b_lo
+    # partial products
+    mul  r19, r13, r17      # lo*lo
+    mul  r20, r14, r18      # hi*hi
+    mul  r21, r13, r18      # lo*hi
+    mul  r22, r14, r17      # hi*lo
+    add  r21, r21, r22      # mid
+    # accumulate into prod[i+j] and prod[i+j+1]
+    add  r23, r10, r15
+    slli r23, r23, 2
+    add  r23, r9, r23
+    lw   r24, 0(r23)
+    add  r24, r24, r19
+    slli r25, r21, 16
+    add  r24, r24, r25
+    sw   r24, 0(r23)
+    bgeu r24, r19, no_carry1
+    lw   r25, 4(r23)
+    addi r25, r25, 1
+    sw   r25, 4(r23)
+no_carry1:
+    lw   r25, 4(r23)
+    srli r27, r21, 16
+    add  r25, r25, r27
+    add  r25, r25, r20
+    sw   r25, 4(r23)
+    addi r15, r15, 1
+    li   r16, {limbs}
+    blt  r15, r16, mul_j
+    addi r10, r10, 1
+    li   r16, {limbs}
+    blt  r10, r16, mul_i
+    # crude reduction: subtract shifted modulus while top limb nonzero
+    li   r10, {2 * limbs - 1}
+red_loop:
+    slli r11, r10, 2
+    add  r11, r9, r11
+    lw   r12, 0(r11)
+    beq  r12, r0, red_next
+    # prod[limb] -= modu[limb - 16] style sweep (approximate reduction)
+    li   r13, 0
+red_sub:
+    slli r14, r13, 2
+    la   r15, modu
+    add  r15, r15, r14
+    lw   r16, 0(r15)
+    add  r17, r10, r13
+    addi r17, r17, {-limbs}
+    slli r17, r17, 2
+    add  r17, r9, r17
+    lw   r18, 0(r17)
+    sub  r18, r18, r16
+    sw   r18, 0(r17)
+    addi r13, r13, 1
+    li   r14, {limbs}
+    blt  r13, r14, red_sub
+    srli r12, r12, 1
+    sw   r12, 0(r11)
+    bne  r12, r0, red_loop
+red_next:
+    addi r4, r4, 1
+    blt  r4, r5, op_loop
+    halt
+"""
+
+
+SPECS = [
+    ("mpeg2dec", "media", "mediabench", mpeg2dec_source,
+     "sparse integer IDCT and half-pel motion compensation"),
+    ("g721", "media", "mediabench", g721_source,
+     "adaptive-predictor ADPCM with sign-sign LMS"),
+    ("epic", "media", "mediabench", epic_source,
+     "separable wavelet pyramid decomposition"),
+    ("pegwit", "media", "mediabench", pegwit_source,
+     "multi-precision modular multiplication"),
+]

@@ -1,0 +1,270 @@
+"""Networking kernels (MiBench stand-ins): dijkstra, patricia."""
+
+from repro.workloads._support import Lcg, word_lines
+
+_INF = 1 << 28
+
+
+def dijkstra_source():
+    """Shortest paths by O(V^2) Dijkstra over an adjacency matrix."""
+    rng = Lcg(0xD1357)
+    n = 36
+    n_sources = 5
+    matrix = []
+    for row in range(n):
+        for col in range(n):
+            if row == col:
+                matrix.append(0)
+            elif rng.below(100) < 30:
+                matrix.append(1 + rng.below(100))
+            else:
+                matrix.append(_INF)
+
+    return f"""
+    .data
+{word_lines("adj", matrix)}
+dist:   .space {n * 4}
+seen:   .space {n * 4}
+total:  .word 0
+    .text
+main:
+    li   r4, 0              # source index
+    li   r5, {n_sources}
+src_loop:
+    # initialise dist[] from the source's adjacency row, seen[] = 0
+    la   r6, adj
+    li   r7, {n * 4}
+    mul  r8, r4, r7
+    add  r6, r6, r8         # row base
+    la   r9, dist
+    la   r10, seen
+    li   r11, 0
+init_loop:
+    slli r12, r11, 2
+    add  r13, r6, r12
+    lw   r14, 0(r13)
+    add  r13, r9, r12
+    sw   r14, 0(r13)
+    add  r13, r10, r12
+    sw   r0, 0(r13)
+    addi r11, r11, 1
+    li   r12, {n}
+    blt  r11, r12, init_loop
+    # mark source as settled
+    slli r12, r4, 2
+    add  r13, r10, r12
+    li   r14, 1
+    sw   r14, 0(r13)
+
+    li   r15, 1             # settled count
+main_loop:
+    # select unsettled node with minimum distance
+    li   r16, {_INF + 1}    # best distance
+    li   r17, -1            # best node
+    li   r11, 0
+scan_loop:
+    slli r12, r11, 2
+    add  r13, r10, r12
+    lw   r14, 0(r13)
+    bne  r14, r0, scan_next
+    add  r13, r9, r12
+    lw   r14, 0(r13)
+    bge  r14, r16, scan_next
+    add  r16, r14, r0
+    add  r17, r11, r0
+scan_next:
+    addi r11, r11, 1
+    li   r12, {n}
+    blt  r11, r12, scan_loop
+    bltz r17, src_done      # disconnected remainder
+    # settle best node
+    slli r12, r17, 2
+    add  r13, r10, r12
+    li   r14, 1
+    sw   r14, 0(r13)
+    # relax neighbours of r17
+    la   r6, adj
+    li   r7, {n * 4}
+    mul  r8, r17, r7
+    add  r6, r6, r8
+    li   r11, 0
+relax_loop:
+    slli r12, r11, 2
+    add  r13, r6, r12
+    lw   r14, 0(r13)        # w(best, j)
+    li   r18, {_INF}
+    bge  r14, r18, relax_next
+    add  r14, r14, r16      # dist[best] + w
+    add  r13, r9, r12
+    lw   r18, 0(r13)
+    bge  r14, r18, relax_next
+    sw   r14, 0(r13)
+relax_next:
+    addi r11, r11, 1
+    li   r12, {n}
+    blt  r11, r12, relax_loop
+    addi r15, r15, 1
+    li   r12, {n}
+    blt  r15, r12, main_loop
+src_done:
+    # accumulate a checksum of settled distances
+    la   r9, dist
+    li   r11, 0
+    li   r19, 0
+sum_loop:
+    lw   r14, 0(r9)
+    li   r18, {_INF}
+    bge  r14, r18, sum_next
+    add  r19, r19, r14
+sum_next:
+    addi r9, r9, 4
+    addi r11, r11, 1
+    li   r12, {n}
+    blt  r11, r12, sum_loop
+    la   r13, total
+    lw   r14, 0(r13)
+    add  r14, r14, r19
+    sw   r14, 0(r13)
+    addi r4, r4, 1
+    blt  r4, r5, src_loop
+    halt
+"""
+
+
+def patricia_source():
+    """Digital search trie insert/lookup over 32-bit keys.
+
+    Stand-in for MiBench ``patricia`` (routing-table longest-prefix
+    structure): pointer chasing through a bit-indexed binary trie built
+    from array-backed nodes.
+    """
+    rng = Lcg(0xA731)
+    n_insert = 360
+    n_lookup = 850
+    inserts = rng.words(n_insert)
+    # Half the lookups hit, half miss.
+    lookups = []
+    for i in range(n_lookup):
+        if i % 2 == 0:
+            lookups.append(inserts[rng.below(n_insert)])
+        else:
+            lookups.append(rng.next_u32() & 0x7FFFFFFF)
+
+    return f"""
+    .data
+{word_lines("keys", inserts)}
+{word_lines("queries", lookups)}
+# node record: key, left, right (indices; 0 = null, node 0 unused)
+nodes:  .space {3 * 4 * (n_insert + 2)}
+nnodes: .word 1
+hits:   .word 0
+    .text
+main:
+    # --- build the trie --------------------------------------------------
+    la   r4, keys
+    li   r5, 0
+    li   r6, {n_insert}
+ins_loop:
+    lw   r7, 0(r4)          # key
+    la   r8, nodes
+    la   r9, nnodes
+    lw   r10, 0(r9)         # next free node index
+    li   r11, 0             # current node index (0 = root slot)
+    li   r12, 31            # bit position
+ins_walk:
+    # node address = nodes + cur*12
+    li   r13, 12
+    mul  r13, r11, r13
+    add  r13, r8, r13
+    beq  r11, r0, ins_root_check
+    lw   r14, 0(r13)        # node key
+    beq  r14, r7, ins_next  # duplicate
+    j    ins_descend
+ins_root_check:
+    lw   r14, 0(r13)
+    bne  r14, r0, ins_descend
+    sw   r7, 0(r13)         # claim empty root
+    j    ins_next
+ins_descend:
+    srl  r15, r7, r12
+    andi r15, r15, 1
+    beq  r15, r0, ins_left
+    lw   r16, 8(r13)        # right child
+    j    ins_step
+ins_left:
+    lw   r16, 4(r13)
+ins_step:
+    bne  r16, r0, ins_move
+    # allocate new node r10 for this key
+    li   r17, 12
+    mul  r17, r10, r17
+    la   r18, nodes
+    add  r17, r18, r17
+    sw   r7, 0(r17)
+    sw   r0, 4(r17)
+    sw   r0, 8(r17)
+    beq  r15, r0, ins_link_left
+    sw   r10, 8(r13)
+    j    ins_alloc_done
+ins_link_left:
+    sw   r10, 4(r13)
+ins_alloc_done:
+    addi r10, r10, 1
+    sw   r10, 0(r9)
+    j    ins_next
+ins_move:
+    add  r11, r16, r0
+    addi r12, r12, -1
+    bgez r12, ins_walk
+ins_next:
+    addi r4, r4, 4
+    addi r5, r5, 1
+    blt  r5, r6, ins_loop
+
+    # --- lookups ----------------------------------------------------------
+    la   r4, queries
+    li   r5, 0
+    li   r6, {n_lookup}
+    li   r19, 0             # hit count
+look_loop:
+    lw   r7, 0(r4)
+    la   r8, nodes
+    li   r11, 0
+    li   r12, 31
+look_walk:
+    li   r13, 12
+    mul  r13, r11, r13
+    add  r13, r8, r13
+    lw   r14, 0(r13)
+    bne  r14, r7, look_descend
+    addi r19, r19, 1        # found
+    j    look_next
+look_descend:
+    srl  r15, r7, r12
+    andi r15, r15, 1
+    beq  r15, r0, look_left
+    lw   r16, 8(r13)
+    j    look_step
+look_left:
+    lw   r16, 4(r13)
+look_step:
+    beq  r16, r0, look_next # dead end: miss
+    add  r11, r16, r0
+    addi r12, r12, -1
+    bgez r12, look_walk
+look_next:
+    addi r4, r4, 4
+    addi r5, r5, 1
+    blt  r5, r6, look_loop
+    la   r20, hits
+    sw   r19, 0(r20)
+    halt
+"""
+
+
+SPECS = [
+    ("dijkstra", "network", "mibench", dijkstra_source,
+     "O(V^2) single-source shortest paths, multiple sources"),
+    ("patricia", "network", "mibench", patricia_source,
+     "bit-indexed trie insert and lookup (routing-table style)"),
+]

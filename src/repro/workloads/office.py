@@ -1,0 +1,337 @@
+"""Office-automation kernels (MiBench stand-ins):
+stringsearch, ispell, rsynth."""
+
+import math
+
+from repro.workloads._support import Lcg, byte_lines, word_lines
+
+
+def _random_text(rng, length):
+    """Lowercase words separated by spaces, vaguely English-shaped."""
+    text = []
+    while len(text) < length:
+        word_len = 2 + rng.below(9)
+        for _ in range(word_len):
+            text.append(97 + rng.below(26))
+        text.append(32)
+    return text[:length]
+
+
+def stringsearch_source():
+    """Boyer-Moore-Horspool search of several patterns over a text."""
+    rng = Lcg(0x57E)
+    text_len = 6144
+    text = _random_text(rng, text_len)
+    patterns = []
+    for _ in range(6):
+        length = 4 + rng.below(6)
+        start = rng.below(text_len - 16)
+        # Half the patterns are excerpts (guaranteed hits), half random.
+        if rng.below(2):
+            patterns.append(text[start:start + length])
+        else:
+            patterns.append([97 + rng.below(26) for _ in range(length)])
+    pattern_bytes = []
+    pattern_offsets = []
+    for pattern in patterns:
+        pattern_offsets.append((len(pattern_bytes), len(pattern)))
+        pattern_bytes.extend(pattern)
+    offsets_flat = [v for pair in pattern_offsets for v in pair]
+
+    return f"""
+    .data
+{byte_lines("text", text)}
+    .align 4
+{byte_lines("pats", pattern_bytes)}
+    .align 4
+{word_lines("patinfo", offsets_flat)}
+skip:   .space 1024
+found:  .word 0
+    .text
+main:
+    li   r4, 0              # pattern index
+    li   r5, {len(patterns)}
+pat_loop:
+    # pattern base and length
+    la   r6, patinfo
+    slli r7, r4, 3
+    add  r6, r6, r7
+    lw   r8, 0(r6)          # offset
+    lw   r9, 4(r6)          # length
+    la   r10, pats
+    add  r10, r10, r8       # pattern base
+
+    # ---- build the bad-character skip table ------------------------------
+    la   r11, skip
+    li   r12, 0
+skip_init:
+    slli r13, r12, 2
+    add  r13, r11, r13
+    sw   r9, 0(r13)
+    addi r12, r12, 1
+    li   r13, 256
+    blt  r12, r13, skip_init
+    li   r12, 0
+    addi r14, r9, -1        # last index
+skip_fill:
+    bge  r12, r14, search_start
+    add  r13, r10, r12
+    lbu  r15, 0(r13)
+    sub  r16, r14, r12
+    slli r15, r15, 2
+    add  r15, r11, r15
+    sw   r16, 0(r15)
+    addi r12, r12, 1
+    j    skip_fill
+
+search_start:
+    la   r17, text
+    li   r18, 0             # window position
+    li   r19, {text_len}
+    sub  r19, r19, r9       # last valid start
+win_loop:
+    bgt  r18, r19, pat_done
+    # compare backwards from the window end
+    addi r12, r9, -1
+cmp_loop:
+    add  r13, r18, r12
+    add  r13, r17, r13
+    lbu  r15, 0(r13)
+    add  r13, r10, r12
+    lbu  r16, 0(r13)
+    bne  r15, r16, cmp_fail
+    addi r12, r12, -1
+    bgez r12, cmp_loop
+    # full match
+    la   r13, found
+    lw   r15, 0(r13)
+    addi r15, r15, 1
+    sw   r15, 0(r13)
+    addi r18, r18, 1
+    j    win_loop
+cmp_fail:
+    # advance by skip[text[pos + m - 1]]
+    add  r13, r18, r9
+    addi r13, r13, -1
+    add  r13, r17, r13
+    lbu  r15, 0(r13)
+    slli r15, r15, 2
+    add  r15, r11, r15
+    lw   r15, 0(r15)
+    add  r18, r18, r15
+    j    win_loop
+pat_done:
+    addi r4, r4, 1
+    blt  r4, r5, pat_loop
+    halt
+"""
+
+
+def ispell_source():
+    """Hashed dictionary lookup with chained buckets (spell-check core)."""
+    rng = Lcg(0x15B)
+    n_dict = 420
+    n_queries = 700
+    word_bytes = 8
+    dictionary = [rng.bytes(word_bytes, 26) for _ in range(n_dict)]
+    queries = []
+    for i in range(n_queries):
+        if i % 2 == 0:
+            queries.append(list(dictionary[rng.below(n_dict)]))
+        else:
+            queries.append(rng.bytes(word_bytes, 26))
+    dict_flat = [b for word in dictionary for b in word]
+    query_flat = [b for word in queries for b in word]
+
+    return f"""
+    .data
+{byte_lines("dictw", dict_flat)}
+    .align 4
+{byte_lines("queryw", query_flat)}
+    .align 4
+buckets: .space {256 * 4}
+# chain node: word_index, next (1-based; 0 = null)
+chains:  .space {(n_dict + 1) * 8}
+nchain:  .word 1
+correct: .word 0
+    .text
+main:
+    # ---- build hash table -------------------------------------------------
+    la   r4, dictw
+    li   r5, 0
+    li   r6, {n_dict}
+build_loop:
+    # hash = fold of bytes
+    li   r7, 0
+    li   r8, 0
+    li   r9, {word_bytes}
+    li   r10, {word_bytes}
+    mul  r11, r5, r10
+    add  r11, r4, r11       # word base
+hash_loop:
+    add  r12, r11, r8
+    lbu  r13, 0(r12)
+    slli r14, r7, 2
+    add  r7, r7, r14        # h = h*5
+    add  r7, r7, r13
+    addi r8, r8, 1
+    blt  r8, r9, hash_loop
+    andi r7, r7, 255
+    # prepend chain node
+    la   r14, nchain
+    lw   r15, 0(r14)
+    la   r16, chains
+    slli r17, r15, 3
+    add  r17, r16, r17
+    sw   r5, 0(r17)         # word index
+    la   r18, buckets
+    slli r19, r7, 2
+    add  r18, r18, r19
+    lw   r20, 0(r18)        # old head
+    sw   r20, 4(r17)
+    sw   r15, 0(r18)        # new head
+    addi r15, r15, 1
+    sw   r15, 0(r14)
+    addi r5, r5, 1
+    blt  r5, r6, build_loop
+
+    # ---- query ------------------------------------------------------------
+    la   r4, queryw
+    li   r5, 0
+    li   r6, {n_queries}
+query_loop:
+    li   r10, {word_bytes}
+    mul  r11, r5, r10
+    add  r11, r4, r11       # query base
+    li   r7, 0
+    li   r8, 0
+    li   r9, {word_bytes}
+qhash_loop:
+    add  r12, r11, r8
+    lbu  r13, 0(r12)
+    slli r14, r7, 2
+    add  r7, r7, r14
+    add  r7, r7, r13
+    addi r8, r8, 1
+    blt  r8, r9, qhash_loop
+    andi r7, r7, 255
+    la   r18, buckets
+    slli r19, r7, 2
+    add  r18, r18, r19
+    lw   r15, 0(r18)        # chain head
+chain_loop:
+    beq  r15, r0, query_next
+    la   r16, chains
+    slli r17, r15, 3
+    add  r17, r16, r17
+    lw   r20, 0(r17)        # word index
+    la   r21, dictw
+    li   r10, {word_bytes}
+    mul  r22, r20, r10
+    add  r21, r21, r22      # dict word base
+    li   r8, 0
+cmp_loop:
+    add  r12, r11, r8
+    lbu  r13, 0(r12)
+    add  r12, r21, r8
+    lbu  r22, 0(r12)
+    bne  r13, r22, cmp_fail
+    addi r8, r8, 1
+    blt  r8, r9, cmp_loop
+    # matched
+    la   r23, correct
+    lw   r24, 0(r23)
+    addi r24, r24, 1
+    sw   r24, 0(r23)
+    j    query_next
+cmp_fail:
+    lw   r15, 4(r17)        # next in chain
+    j    chain_loop
+query_next:
+    addi r5, r5, 1
+    blt  r5, r6, query_loop
+    halt
+"""
+
+
+def rsynth_source():
+    """Additive formant synthesis: harmonics from a sine table."""
+    rng = Lcg(0x125)
+    sine = [int(2000 * math.sin(2 * math.pi * i / 256)) for i in range(256)]
+    n_phonemes = 36
+    samples_per = 56
+    # phoneme table: 3 harmonics x (step, amplitude)
+    phonemes = []
+    for _ in range(n_phonemes):
+        for harmonic in range(3):
+            phonemes.append(1 + rng.below(24))   # phase step
+            phonemes.append(2 + rng.below(14))   # amplitude (shift-scaled)
+
+    return f"""
+    .data
+{word_lines("sinetab", sine)}
+{word_lines("phon", phonemes)}
+wave:   .space {n_phonemes * samples_per * 4}
+    .text
+main:
+    la   r4, phon
+    la   r5, wave
+    li   r6, 0              # phoneme index
+    li   r7, {n_phonemes}
+ph_loop:
+    # load 3 harmonics' parameters
+    lw   r8, 0(r4)          # step0
+    lw   r9, 4(r4)          # amp0
+    lw   r10, 8(r4)         # step1
+    lw   r11, 12(r4)        # amp1
+    lw   r12, 16(r4)        # step2
+    lw   r13, 20(r4)        # amp2
+    li   r14, 0             # phase0
+    li   r15, 0             # phase1
+    li   r16, 0             # phase2
+    li   r17, 0             # sample index
+    li   r18, {samples_per}
+    la   r19, sinetab
+samp_loop:
+    andi r20, r14, 255
+    slli r20, r20, 2
+    add  r20, r19, r20
+    lw   r21, 0(r20)
+    mul  r21, r21, r9
+    srai r21, r21, 4
+    andi r20, r15, 255
+    slli r20, r20, 2
+    add  r20, r19, r20
+    lw   r22, 0(r20)
+    mul  r22, r22, r11
+    srai r22, r22, 4
+    add  r21, r21, r22
+    andi r20, r16, 255
+    slli r20, r20, 2
+    add  r20, r19, r20
+    lw   r22, 0(r20)
+    mul  r22, r22, r13
+    srai r22, r22, 4
+    add  r21, r21, r22
+    sw   r21, 0(r5)
+    add  r14, r14, r8
+    add  r15, r15, r10
+    add  r16, r16, r12
+    addi r5, r5, 4
+    addi r17, r17, 1
+    blt  r17, r18, samp_loop
+    addi r4, r4, 24
+    addi r6, r6, 1
+    blt  r6, r7, ph_loop
+    halt
+"""
+
+
+SPECS = [
+    ("stringsearch", "office", "mibench", stringsearch_source,
+     "Boyer-Moore-Horspool multi-pattern text search"),
+    ("ispell", "office", "mibench", ispell_source,
+     "hashed dictionary spell-check lookups"),
+    ("rsynth", "office", "mibench", rsynth_source,
+     "additive formant speech synthesis"),
+]

@@ -1,0 +1,352 @@
+"""Security kernels (MiBench stand-ins): blowfish, rijndael, sha."""
+
+from repro.workloads._support import Lcg, word_lines
+
+
+def blowfish_source():
+    """16-round Feistel cipher with four 256-entry S-boxes (Blowfish form).
+
+    F(x) = ((S0[x>>24] + S1[x>>16 & ff]) ^ S2[x>>8 & ff]) + S3[x & ff]
+    """
+    rng = Lcg(0xB10F)
+    p_array = rng.words(18)
+    sboxes = rng.words(4 * 256)
+    n_blocks = 220
+    blocks = rng.words(2 * n_blocks)
+
+    return f"""
+    .data
+{word_lines("parr", p_array)}
+{word_lines("sbox", sboxes)}
+{word_lines("blocks", blocks)}
+    .text
+main:
+    la   r4, blocks
+    li   r5, 0
+    li   r6, {n_blocks}
+    la   r7, parr
+    la   r8, sbox
+blk_loop:
+    lw   r9, 0(r4)          # L
+    lw   r10, 4(r4)         # R
+    li   r11, 0             # round
+    li   r12, 16
+round_loop:
+    # L ^= P[round]
+    slli r13, r11, 2
+    add  r13, r7, r13
+    lw   r14, 0(r13)
+    xor  r9, r9, r14
+    # F(L)
+    srli r15, r9, 24
+    slli r15, r15, 2
+    add  r15, r8, r15
+    lw   r16, 0(r15)        # S0[a]
+    srli r15, r9, 16
+    andi r15, r15, 255
+    slli r15, r15, 2
+    add  r15, r8, r15
+    lw   r17, 1024(r15)     # S1[b]
+    add  r16, r16, r17
+    srli r15, r9, 8
+    andi r15, r15, 255
+    slli r15, r15, 2
+    add  r15, r8, r15
+    lw   r17, 2048(r15)     # S2[c]
+    xor  r16, r16, r17
+    andi r15, r9, 255
+    slli r15, r15, 2
+    add  r15, r8, r15
+    lw   r17, 3072(r15)     # S3[d]
+    add  r16, r16, r17
+    xor  r10, r10, r16      # R ^= F(L)
+    # swap L, R
+    add  r18, r9, r0
+    add  r9, r10, r0
+    add  r10, r18, r0
+    addi r11, r11, 1
+    blt  r11, r12, round_loop
+    # final: undo last swap, xor with P[16], P[17]
+    add  r18, r9, r0
+    add  r9, r10, r0
+    add  r10, r18, r0
+    lw   r14, 64(r7)
+    xor  r10, r10, r14
+    lw   r14, 68(r7)
+    xor  r9, r9, r14
+    sw   r9, 0(r4)
+    sw   r10, 4(r4)
+    addi r4, r4, 8
+    addi r5, r5, 1
+    blt  r5, r6, blk_loop
+    halt
+"""
+
+
+def rijndael_source():
+    """AES-style rounds over a 4-word state with one T-table.
+
+    Each round: w_i = T[b0] ^ rotl8(T[b1]) ^ rotl16(T[b2]) ^ rotl24(T[b3])
+    ^ roundkey, bytes taken diagonally as in AES's ShiftRows.
+    """
+    rng = Lcg(0xAE5)
+    ttab = rng.words(256)
+    round_keys = rng.words(4 * 11)
+    n_blocks = 44
+    blocks = rng.words(4 * n_blocks)
+
+    return f"""
+    .data
+{word_lines("ttab", ttab)}
+{word_lines("rkeys", round_keys)}
+{word_lines("blocks", blocks)}
+state:  .space 32
+    .text
+main:
+    la   r4, blocks
+    li   r5, 0
+    li   r6, {n_blocks}
+    la   r7, ttab
+    la   r28, state
+blk_loop:
+    lw   r9, 0(r4)
+    lw   r10, 4(r4)
+    lw   r11, 8(r4)
+    lw   r12, 12(r4)
+    la   r8, rkeys
+    li   r13, 0             # round
+    li   r14, 10
+round_loop:
+    sw   r9, 0(r28)         # spill state so columns can be picked
+    sw   r10, 4(r28)
+    sw   r11, 8(r28)
+    sw   r12, 12(r28)
+    li   r15, 0             # column
+col_loop:
+    # bytes from columns c, c+1, c+2, c+3 (mod 4) -- ShiftRows diagonal
+    slli r16, r15, 2
+    add  r16, r28, r16
+    lw   r17, 0(r16)        # w[c]
+    srli r18, r17, 24
+    slli r18, r18, 2
+    add  r18, r7, r18
+    lw   r19, 0(r18)        # acc = T[b0]
+    addi r16, r15, 1
+    andi r16, r16, 3
+    slli r16, r16, 2
+    add  r16, r28, r16
+    lw   r17, 0(r16)
+    srli r18, r17, 16
+    andi r18, r18, 255
+    slli r18, r18, 2
+    add  r18, r7, r18
+    lw   r20, 0(r18)
+    slli r21, r20, 8        # rotl8
+    srli r20, r20, 24
+    or   r20, r20, r21
+    xor  r19, r19, r20
+    addi r16, r15, 2
+    andi r16, r16, 3
+    slli r16, r16, 2
+    add  r16, r28, r16
+    lw   r17, 0(r16)
+    srli r18, r17, 8
+    andi r18, r18, 255
+    slli r18, r18, 2
+    add  r18, r7, r18
+    lw   r20, 0(r18)
+    slli r21, r20, 16       # rotl16
+    srli r20, r20, 16
+    or   r20, r20, r21
+    xor  r19, r19, r20
+    addi r16, r15, 3
+    andi r16, r16, 3
+    slli r16, r16, 2
+    add  r16, r28, r16
+    lw   r17, 0(r16)
+    andi r18, r17, 255
+    slli r18, r18, 2
+    add  r18, r7, r18
+    lw   r20, 0(r18)
+    slli r21, r20, 24       # rotl24
+    srli r20, r20, 8
+    or   r20, r20, r21
+    xor  r19, r19, r20
+    # add round key
+    slli r16, r15, 2
+    add  r16, r8, r16
+    lw   r20, 0(r16)
+    xor  r19, r19, r20
+    # write back into the live registers via a rotating pick
+    beq  r15, r0, col0
+    li   r21, 1
+    beq  r15, r21, col1
+    li   r21, 2
+    beq  r15, r21, col2
+    add  r12, r19, r0
+    j    col_next
+col0:
+    add  r9, r19, r0
+    j    col_next
+col1:
+    add  r10, r19, r0
+    j    col_next
+col2:
+    add  r11, r19, r0
+col_next:
+    addi r15, r15, 1
+    li   r21, 4
+    blt  r15, r21, col_loop
+    addi r8, r8, 16         # next round key group
+    addi r13, r13, 1
+    blt  r13, r14, round_loop
+    sw   r9, 0(r4)
+    sw   r10, 4(r4)
+    sw   r11, 8(r4)
+    sw   r12, 12(r4)
+    addi r4, r4, 16
+    addi r5, r5, 1
+    blt  r5, r6, blk_loop
+    halt
+"""
+
+
+def sha_source():
+    """SHA-1 message schedule and compression rounds over random blocks."""
+    rng = Lcg(0x5A1)
+    n_blocks = 36
+    message = rng.words(16 * n_blocks)
+
+    return f"""
+    .data
+{word_lines("msg", message)}
+sched:  .space {80 * 4}
+digest: .word 1732584193, 4023233417, 2562383102, 271733878, 3285377520
+    .text
+main:
+    la   r4, msg
+    li   r5, 0
+    li   r6, {n_blocks}
+blk_loop:
+    # ---- message schedule: W[0..15] copied, W[16..79] expanded ----------
+    la   r7, sched
+    li   r8, 0
+    li   r9, 16
+copy_loop:
+    slli r10, r8, 2
+    add  r11, r4, r10
+    lw   r12, 0(r11)
+    add  r11, r7, r10
+    sw   r12, 0(r11)
+    addi r8, r8, 1
+    blt  r8, r9, copy_loop
+    li   r9, 80
+expand_loop:
+    slli r10, r8, 2
+    add  r11, r7, r10
+    lw   r12, -12(r11)      # W[t-3]
+    lw   r13, -32(r11)      # W[t-8]
+    xor  r12, r12, r13
+    lw   r13, -56(r11)      # W[t-14]
+    xor  r12, r12, r13
+    lw   r13, -64(r11)      # W[t-16]
+    xor  r12, r12, r13
+    slli r13, r12, 1        # rotl1
+    srli r12, r12, 31
+    or   r12, r12, r13
+    sw   r12, 0(r11)
+    addi r8, r8, 1
+    blt  r8, r9, expand_loop
+
+    # ---- compression ------------------------------------------------------
+    la   r14, digest
+    lw   r15, 0(r14)        # a
+    lw   r16, 4(r14)        # b
+    lw   r17, 8(r14)        # c
+    lw   r18, 12(r14)       # d
+    lw   r19, 16(r14)       # e
+    li   r8, 0
+round_loop:
+    # f and k by round quarter
+    li   r9, 20
+    blt  r8, r9, f_ch
+    li   r9, 40
+    blt  r8, r9, f_par1
+    li   r9, 60
+    blt  r8, r9, f_maj
+    # parity 2
+    xor  r20, r16, r17
+    xor  r20, r20, r18
+    li   r21, -899497514
+    j    f_done
+f_ch:
+    and  r20, r16, r17
+    not  r22, r16
+    and  r22, r22, r18
+    or   r20, r20, r22
+    li   r21, 1518500249
+    j    f_done
+f_par1:
+    xor  r20, r16, r17
+    xor  r20, r20, r18
+    li   r21, 1859775393
+    j    f_done
+f_maj:
+    and  r20, r16, r17
+    and  r22, r16, r18
+    or   r20, r20, r22
+    and  r22, r17, r18
+    or   r20, r20, r22
+    li   r21, -1894007588
+f_done:
+    slli r22, r15, 5        # rotl5(a)
+    srli r23, r15, 27
+    or   r22, r22, r23
+    add  r22, r22, r20
+    add  r22, r22, r19
+    add  r22, r22, r21
+    slli r23, r8, 2
+    add  r23, r7, r23
+    lw   r24, 0(r23)
+    add  r22, r22, r24      # temp
+    add  r19, r18, r0       # e = d
+    add  r18, r17, r0       # d = c
+    slli r23, r16, 30       # c = rotl30(b)
+    srli r17, r16, 2
+    or   r17, r17, r23
+    add  r16, r15, r0       # b = a
+    add  r15, r22, r0       # a = temp
+    addi r8, r8, 1
+    li   r9, 80
+    blt  r8, r9, round_loop
+    # fold into digest
+    lw   r20, 0(r14)
+    add  r20, r20, r15
+    sw   r20, 0(r14)
+    lw   r20, 4(r14)
+    add  r20, r20, r16
+    sw   r20, 4(r14)
+    lw   r20, 8(r14)
+    add  r20, r20, r17
+    sw   r20, 8(r14)
+    lw   r20, 12(r14)
+    add  r20, r20, r18
+    sw   r20, 12(r14)
+    lw   r20, 16(r14)
+    add  r20, r20, r19
+    sw   r20, 16(r14)
+    addi r4, r4, 64
+    addi r5, r5, 1
+    blt  r5, r6, blk_loop
+    halt
+"""
+
+
+SPECS = [
+    ("blowfish", "security", "mibench", blowfish_source,
+     "16-round Feistel cipher with S-box lookups"),
+    ("rijndael", "security", "mibench", rijndael_source,
+     "AES-style T-table rounds"),
+    ("sha", "security", "mibench", sha_source,
+     "SHA-1 schedule expansion and compression"),
+]

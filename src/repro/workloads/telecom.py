@@ -1,0 +1,402 @@
+"""Telecommunication kernels (MiBench stand-ins): adpcm, crc32, fft, gsm."""
+
+import math
+
+from repro.workloads._support import Lcg, byte_lines, double_lines, word_lines
+
+_STEP_TABLE = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+    41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+    190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+    724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894,
+    6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289,
+    16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+]
+
+_INDEX_TABLE = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8]
+
+
+def _crc_table():
+    table = []
+    for n in range(256):
+        crc = n
+        for _ in range(8):
+            crc = (crc >> 1) ^ 0xEDB88320 if crc & 1 else crc >> 1
+        table.append(crc)
+    return table
+
+
+def adpcm_source():
+    """IMA ADPCM encoder over a synthetic speech-like waveform."""
+    rng = Lcg(0xADC)
+    n = 2400
+    samples = []
+    phase = 0.0
+    for i in range(n):
+        phase += 0.05 + 0.02 * (rng.below(100) / 100.0)
+        value = int(6000 * math.sin(phase) + 800 * math.sin(3.1 * phase))
+        value += rng.below(400) - 200
+        samples.append(max(-32768, min(32767, value)))
+
+    return f"""
+    .data
+{word_lines("samples", samples)}
+{word_lines("steptab", _STEP_TABLE)}
+{word_lines("idxtab", _INDEX_TABLE)}
+out:    .space {n}
+    .text
+main:
+    la   r4, samples
+    la   r5, out
+    la   r6, steptab
+    la   r7, idxtab
+    li   r8, 0              # predicted
+    li   r9, 0              # index
+    li   r10, 0             # i
+    li   r11, {n}
+samp_loop:
+    lw   r12, 0(r4)         # sample
+    sub  r13, r12, r8       # diff
+    li   r14, 0             # code
+    bgez r13, adp_pos
+    li   r14, 8             # sign bit
+    neg  r13, r13
+adp_pos:
+    slli r15, r9, 2         # step = steptab[index]
+    add  r15, r6, r15
+    lw   r15, 0(r15)
+    # quantize: 3 magnitude bits
+    add  r16, r15, r0       # temp step
+    li   r17, 0             # diffq accumulator
+    bge  r13, r16, adp_b2
+    j    adp_b1
+adp_b2:
+    ori  r14, r14, 4
+    sub  r13, r13, r16
+    add  r17, r17, r16
+adp_b1:
+    srli r16, r16, 1
+    bge  r13, r16, adp_b1h
+    j    adp_b0
+adp_b1h:
+    ori  r14, r14, 2
+    sub  r13, r13, r16
+    add  r17, r17, r16
+adp_b0:
+    srli r16, r16, 1
+    bge  r13, r16, adp_b0h
+    j    adp_upd
+adp_b0h:
+    ori  r14, r14, 1
+    add  r17, r17, r16
+adp_upd:
+    srli r16, r15, 3        # step >> 3 rounding term
+    add  r17, r17, r16
+    andi r18, r14, 8        # apply sign to predictor update
+    beq  r18, r0, adp_addp
+    sub  r8, r8, r17
+    j    adp_clamp
+adp_addp:
+    add  r8, r8, r17
+adp_clamp:
+    li   r18, 32767
+    ble  r8, r18, adp_cl2
+    add  r8, r18, r0
+adp_cl2:
+    li   r18, -32768
+    bge  r8, r18, adp_idx
+    add  r8, r18, r0
+adp_idx:
+    andi r18, r14, 15       # index += idxtab[code]
+    slli r18, r18, 2
+    add  r18, r7, r18
+    lw   r18, 0(r18)
+    add  r9, r9, r18
+    bgez r9, adp_ic2
+    li   r9, 0
+adp_ic2:
+    li   r18, 88
+    ble  r9, r18, adp_emit
+    add  r9, r18, r0
+adp_emit:
+    sb   r14, 0(r5)
+    addi r4, r4, 4
+    addi r5, r5, 1
+    addi r10, r10, 1
+    blt  r10, r11, samp_loop
+    halt
+"""
+
+
+def crc32_source():
+    """Table-driven CRC-32 over a byte buffer."""
+    rng = Lcg(0xC3C)
+    n = 9 * 1024
+    buffer = rng.bytes(n)
+
+    return f"""
+    .data
+{word_lines("crctab", _crc_table())}
+{byte_lines("buf", buffer)}
+    .align 4
+result: .word 0
+    .text
+main:
+    la   r4, buf
+    la   r5, crctab
+    li   r6, 0              # i
+    li   r7, {n}
+    li   r8, -1             # crc = 0xffffffff
+byte_loop:
+    lbu  r9, 0(r4)
+    xor  r10, r8, r9
+    andi r10, r10, 255
+    slli r10, r10, 2
+    add  r10, r5, r10
+    lw   r10, 0(r10)
+    srli r8, r8, 8
+    xor  r8, r8, r10
+    addi r4, r4, 1
+    addi r6, r6, 1
+    blt  r6, r7, byte_loop
+    not  r8, r8
+    la   r9, result
+    sw   r8, 0(r9)
+    halt
+"""
+
+
+def fft_source():
+    """Iterative radix-2 FFT, 256 complex points, three signals."""
+    rng = Lcg(0xFF7)
+    n = 256
+    levels = 8
+    signals = []
+    for s in range(3):
+        phase = 0.0
+        for i in range(n):
+            phase += 0.19 + 0.11 * s
+            signals.append(round(math.sin(phase)
+                                 + 0.5 * math.sin(2.7 * phase + s), 9))
+    twiddles = []
+    for k in range(n // 2):
+        angle = -2.0 * math.pi * k / n
+        twiddles.append(round(math.cos(angle), 12))
+        twiddles.append(round(math.sin(angle), 12))
+    bitrev = [int(format(i, f"0{levels}b")[::-1], 2) for i in range(n)]
+
+    return f"""
+    .data
+{double_lines("signals", signals)}
+{double_lines("twid", twiddles)}
+{word_lines("bitrev", bitrev)}
+re:     .space {n * 8}
+im:     .space {n * 8}
+    .text
+main:
+    li   r4, 0              # signal index
+    li   r5, 3
+sig_loop:
+    # ---- bit-reversed copy into working arrays (imag = 0) ---------------
+    la   r6, signals
+    li   r7, {n * 8}
+    mul  r8, r4, r7
+    add  r6, r6, r8
+    la   r9, re
+    la   r10, im
+    la   r11, bitrev
+    li   r12, 0
+copy_loop:
+    slli r13, r12, 2
+    add  r13, r11, r13
+    lw   r14, 0(r13)        # rev index
+    slli r15, r14, 3
+    add  r15, r6, r15
+    flw  f1, 0(r15)
+    slli r15, r12, 3
+    add  r16, r9, r15
+    fsw  f1, 0(r16)
+    add  r16, r10, r15
+    fli  f2, 0.0
+    fsw  f2, 0(r16)
+    addi r12, r12, 1
+    li   r13, {n}
+    blt  r12, r13, copy_loop
+
+    # ---- butterfly stages -------------------------------------------------
+    li   r17, 1             # half = 1, doubles each stage
+stage_loop:
+    slli r18, r17, 1        # span = 2*half
+    li   r19, 0             # group start
+group_loop:
+    li   r20, 0             # j within group
+bfly_loop:
+    # twiddle index = j * (n / span)
+    li   r21, {n}
+    div  r21, r21, r18
+    mul  r21, r21, r20
+    slli r21, r21, 4        # *16 bytes per complex
+    la   r22, twid
+    add  r22, r22, r21
+    flw  f3, 0(r22)         # wr
+    flw  f4, 8(r22)         # wi
+    add  r23, r19, r20      # top index
+    add  r24, r23, r17      # bottom index
+    slli r25, r24, 3
+    add  r26, r9, r25
+    flw  f5, 0(r26)         # bottom re
+    add  r27, r10, r25
+    flw  f6, 0(r27)         # bottom im
+    # t = w * bottom
+    fmul f7, f3, f5
+    fmul f8, f4, f6
+    fsub f7, f7, f8         # tr
+    fmul f8, f3, f6
+    fmul f9, f4, f5
+    fadd f8, f8, f9         # ti
+    slli r25, r23, 3
+    add  r28, r9, r25
+    flw  f5, 0(r28)         # top re
+    add  r25, r10, r25
+    add  r25, r25, r0
+    slli r21, r23, 3
+    add  r21, r10, r21
+    flw  f6, 0(r21)         # top im
+    fsub f9, f5, f7
+    fsw  f9, 0(r26)         # bottom = top - t
+    fsub f9, f6, f8
+    fsw  f9, 0(r27)
+    fadd f9, f5, f7
+    fsw  f9, 0(r28)         # top = top + t
+    fadd f9, f6, f8
+    fsw  f9, 0(r21)
+    addi r20, r20, 1
+    blt  r20, r17, bfly_loop
+    add  r19, r19, r18
+    li   r21, {n}
+    blt  r19, r21, group_loop
+    slli r17, r17, 1
+    li   r21, {n}
+    blt  r17, r21, stage_loop
+    addi r4, r4, 1
+    blt  r4, r5, sig_loop
+    halt
+"""
+
+
+def gsm_source():
+    """GSM-style frame analysis: autocorrelation plus lattice filtering."""
+    rng = Lcg(0x65A)
+    frame = 160
+    n_frames = 5
+    samples = []
+    phase = 0.0
+    for i in range(frame * n_frames):
+        phase += 0.11 + 0.05 * (rng.below(50) / 50.0)
+        samples.append(int(4000 * math.sin(phase)) + rng.below(600) - 300)
+
+    return f"""
+    .data
+{word_lines("speech", samples)}
+acf:    .space {9 * 4}
+refl:   .space {8 * 4}
+work:   .space {frame * 4}
+    .text
+main:
+    li   r4, 0              # frame index
+    li   r5, {n_frames}
+frame_loop:
+    la   r6, speech
+    li   r7, {frame * 4}
+    mul  r8, r4, r7
+    add  r6, r6, r8         # frame base
+
+    # ---- autocorrelation for lags 0..8 ----------------------------------
+    la   r9, acf
+    li   r10, 0             # lag
+    li   r11, 9
+lag_loop:
+    li   r12, 0             # acc
+    add  r13, r10, r0       # i = lag
+    li   r14, {frame}
+corr_loop:
+    slli r15, r13, 2
+    add  r16, r6, r15
+    lw   r17, 0(r16)        # x[i]
+    sub  r18, r13, r10
+    slli r18, r18, 2
+    add  r18, r6, r18
+    lw   r19, 0(r18)        # x[i-lag]
+    mul  r17, r17, r19
+    srai r17, r17, 10       # keep fixed-point range
+    add  r12, r12, r17
+    addi r13, r13, 1
+    blt  r13, r14, corr_loop
+    slli r15, r10, 2
+    add  r15, r9, r15
+    sw   r12, 0(r15)
+    addi r10, r10, 1
+    blt  r10, r11, lag_loop
+
+    # ---- 8-stage lattice (Schur-like recursion on working copy) ---------
+    la   r20, work
+    li   r13, 0
+    li   r14, {frame}
+copy_loop:
+    slli r15, r13, 2
+    add  r16, r6, r15
+    lw   r17, 0(r16)
+    add  r16, r20, r15
+    sw   r17, 0(r16)
+    addi r13, r13, 1
+    blt  r13, r14, copy_loop
+    la   r21, refl
+    li   r10, 0             # stage
+    li   r11, 8
+stage_loop:
+    # reflection coefficient from acf ratio (bounded)
+    slli r15, r10, 2
+    add  r16, r9, r15
+    lw   r17, 4(r16)        # acf[stage+1]
+    lw   r18, 0(r16)        # acf[stage]
+    beq  r18, r0, refl_zero
+    slli r17, r17, 8
+    div  r19, r17, r18
+    j    refl_store
+refl_zero:
+    li   r19, 0
+refl_store:
+    add  r16, r21, r15
+    sw   r19, 0(r16)
+    # filter pass: w[i] -= (k * w[i-1]) >> 8
+    li   r13, 1
+filt_loop:
+    slli r15, r13, 2
+    add  r16, r20, r15
+    lw   r17, 0(r16)
+    lw   r18, -4(r16)
+    mul  r18, r18, r19
+    srai r18, r18, 8
+    sub  r17, r17, r18
+    sw   r17, 0(r16)
+    addi r13, r13, 1
+    blt  r13, r14, filt_loop
+    addi r10, r10, 1
+    blt  r10, r11, stage_loop
+    addi r4, r4, 1
+    blt  r4, r5, frame_loop
+    halt
+"""
+
+
+SPECS = [
+    ("adpcm", "telecom", "mibench", adpcm_source,
+     "IMA ADPCM speech encoder"),
+    ("crc32", "telecom", "mibench", crc32_source,
+     "table-driven CRC-32 over a buffer"),
+    ("fft", "telecom", "mibench", fft_source,
+     "iterative radix-2 complex FFT"),
+    ("gsm", "telecom", "mibench", gsm_source,
+     "autocorrelation and lattice filtering per speech frame"),
+]

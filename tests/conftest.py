@@ -1,0 +1,93 @@
+"""Shared fixtures: small hand-written programs exercising every layer."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.sim import run_program
+
+#: A small two-level loop nest with loads, stores, a multiply, and both a
+#: biased and a data-ish branch — rich enough to profile and clone.
+LOOP_NEST_SOURCE = """
+    .data
+arr:    .word 0
+    .space 8192
+    .text
+main:
+    li   r4, 0
+    li   r5, 40
+    la   r6, arr
+outer:
+    li   r7, 0
+    li   r8, 64
+inner:
+    slli r9, r7, 2
+    add  r10, r6, r9
+    lw   r11, 0(r10)
+    addi r11, r11, 3
+    mul  r12, r11, r8
+    andi r13, r12, 1
+    beq  r13, r0, skip
+    addi r11, r11, 1
+skip:
+    sw   r11, 0(r10)
+    addi r7, r7, 1
+    blt  r7, r8, inner
+    addi r4, r4, 1
+    blt  r4, r5, outer
+    halt
+"""
+
+SUM_SOURCE = """
+    .data
+vals:   .word 5, 3, 8, 1, 9, 2, 7, 4
+result: .word 0
+    .text
+main:
+    la   r4, vals
+    li   r5, 0
+    li   r6, 0
+    li   r7, 8
+loop:
+    lw   r8, 0(r4)
+    add  r5, r5, r8
+    addi r4, r4, 4
+    addi r6, r6, 1
+    blt  r6, r7, loop
+    la   r9, result
+    sw   r5, 0(r9)
+    halt
+"""
+
+
+@pytest.fixture(scope="session")
+def loop_nest_program():
+    return assemble(LOOP_NEST_SOURCE, name="loop_nest")
+
+
+@pytest.fixture(scope="session")
+def loop_nest_trace(loop_nest_program):
+    return run_program(loop_nest_program)
+
+
+@pytest.fixture(scope="session")
+def loop_nest_profile(loop_nest_trace):
+    from repro.core import profile_trace
+    return profile_trace(loop_nest_trace)
+
+
+@pytest.fixture(scope="session")
+def loop_nest_clone(loop_nest_profile):
+    from repro.core import make_clone
+    from repro.core.synthesizer import SynthesisParameters
+    return make_clone(loop_nest_profile,
+                      SynthesisParameters(dynamic_instructions=30_000))
+
+
+@pytest.fixture(scope="session")
+def loop_nest_clone_trace(loop_nest_clone):
+    return run_program(loop_nest_clone.program, max_instructions=2_000_000)
+
+
+@pytest.fixture
+def sum_program():
+    return assemble(SUM_SOURCE, name="sum8")

@@ -1,0 +1,186 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa import AssemblerError, assemble
+from repro.isa.assembler import DATA_BASE, _li_sequence
+from repro.isa.instructions import IClass
+
+
+def asm(body, data=""):
+    source = ""
+    if data:
+        source += "    .data\n" + data + "\n"
+    source += "    .text\n" + body + "\n    halt\n"
+    return assemble(source)
+
+
+class TestBasicParsing:
+    def test_empty_text(self):
+        program = assemble("    .text\n    halt\n")
+        assert len(program) == 1
+
+    def test_comments_stripped(self):
+        program = asm("    add r1, r2, r3  # comment\n    nop ; also")
+        assert len(program) == 3
+
+    def test_label_shared_line(self):
+        program = assemble("    .text\nmain:    halt\n")
+        assert program.labels["main"] == 0
+
+    def test_label_own_line(self):
+        program = asm("foo:\n    add r1, r1, r1\n    j foo")
+        assert program.labels["foo"] == 0
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            asm("a:\n    nop\na:\n    nop")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblerError):
+            asm("    bogus r1, r2")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("    .nonsense 4\n")
+
+    def test_undefined_branch_label(self):
+        with pytest.raises(AssemblerError):
+            asm("    beq r0, r0, nowhere")
+
+    def test_operand_count_checked(self):
+        with pytest.raises(AssemblerError):
+            asm("    add r1, r2")
+
+
+class TestDataSection:
+    def test_word_values(self, sum_program):
+        base = sum_program.data_symbols["vals"]
+        assert base == DATA_BASE
+
+    def test_word_layout(self):
+        program = asm("    nop", data="a:  .word 1, 2, 3")
+        image = program.data_image
+        assert image[0:4] == (1).to_bytes(4, "little")
+        assert image[8:12] == (3).to_bytes(4, "little")
+
+    def test_negative_word(self):
+        program = asm("    nop", data="a:  .word -1")
+        assert program.data_image[0:4] == b"\xff\xff\xff\xff"
+
+    def test_byte_directive(self):
+        program = asm("    nop", data="a:  .byte 1, 2, 255")
+        assert program.data_image[0:3] == bytes([1, 2, 255])
+
+    def test_space_zeros(self):
+        program = asm("    nop", data="a:  .space 16\nb: .word 7")
+        assert program.data_symbols["b"] == DATA_BASE + 16
+        assert program.data_image[0:16] == bytes(16)
+
+    def test_align(self):
+        program = asm("    nop", data="a: .byte 1\n    .align 8\nb: .word 2")
+        assert program.data_symbols["b"] % 8 == 0
+
+    def test_double_aligned_and_encoded(self):
+        import struct
+        program = asm("    nop", data="d:  .double 1.5")
+        offset = program.data_symbols["d"] - DATA_BASE
+        value = struct.unpack_from("<d", program.data_image, offset)[0]
+        assert value == 1.5
+
+    def test_word_symbol_reference(self):
+        program = asm("    nop", data="a: .word 9\nptr: .word a")
+        offset = program.data_symbols["ptr"] - DATA_BASE
+        stored = int.from_bytes(program.data_image[offset:offset + 4],
+                                "little")
+        assert stored == program.data_symbols["a"]
+
+    def test_duplicate_data_label(self):
+        with pytest.raises(AssemblerError):
+            asm("    nop", data="a: .word 1\na: .word 2")
+
+    def test_instruction_in_data_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("    .data\n    add r1, r2, r3\n")
+
+
+class TestPseudoOps:
+    def test_nop_expands_to_add(self):
+        program = asm("    nop")
+        assert program.instructions[0].opcode == "add"
+        assert program.instructions[0].rd == 0
+
+    def test_li_small(self):
+        program = asm("    li r5, 42")
+        assert program.instructions[0].opcode == "addi"
+        assert program.instructions[0].imm == 42
+
+    def test_li_negative_small(self):
+        program = asm("    li r5, -3")
+        assert program.instructions[0].imm == -3
+
+    def test_li_large_expands(self):
+        assert len(_li_sequence(5, 0x12345678)) == 2
+        assert len(_li_sequence(5, 42)) == 1
+        assert len(_li_sequence(5, 0x10000)) == 1  # lui only
+
+    def test_la_two_instructions(self):
+        program = asm("    la r4, tab\n    nop", data="tab: .word 1")
+        assert program.instructions[0].opcode == "lui"
+        assert program.instructions[1].opcode == "ori"
+
+    def test_la_undefined_symbol(self):
+        with pytest.raises(AssemblerError):
+            asm("    la r4, missing")
+
+    def test_mv(self):
+        program = asm("    mv r5, r6")
+        instr = program.instructions[0]
+        assert instr.opcode == "add" and instr.srcs[0] == 6
+
+    def test_not_neg(self):
+        program = asm("    not r5, r6\n    neg r7, r8")
+        assert program.instructions[0].opcode == "nor"
+        assert program.instructions[1].opcode == "sub"
+
+    def test_branch_swaps(self):
+        program = asm("x:\n    bgt r1, r2, x\n    ble r3, r4, x")
+        bgt = program.instructions[0]
+        assert bgt.opcode == "blt" and bgt.srcs == (2, 1)
+        ble = program.instructions[1]
+        assert ble.opcode == "bge" and ble.srcs == (4, 3)
+
+    def test_zero_branches(self):
+        program = asm("x:\n    beqz r1, x\n    bgtz r2, x\n    blez r3, x")
+        assert program.instructions[0].opcode == "beq"
+        assert program.instructions[1].srcs == (0, 2)  # blt r0, r2
+        assert program.instructions[2].srcs == (0, 3)  # bge r0, r3
+
+    def test_b_unconditional(self):
+        program = asm("x:\n    b x")
+        assert program.instructions[0].iclass == IClass.JUMP
+
+
+class TestTargets:
+    def test_forward_and_backward_targets(self):
+        program = asm("""
+top:
+    beq r0, r0, bottom
+    j top
+bottom:
+    nop""")
+        assert program.instructions[0].target == 2
+        assert program.instructions[1].target == 0
+
+    def test_branch_to_data_symbol_rejected(self):
+        with pytest.raises(AssemblerError):
+            asm("    beq r0, r0, tab", data="tab: .word 1")
+
+    def test_la_targets_resolve_after_expansion(self):
+        # Labels after a `la` must account for its two-slot expansion.
+        program = asm("""
+    la r4, tab
+after:
+    j after""", data="tab: .word 1")
+        assert program.labels["after"] == 2
+        assert program.instructions[2].target == 2

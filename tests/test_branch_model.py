@@ -1,0 +1,118 @@
+"""Tests for the control-flow-predictability model (paper Sec. 3.1.5/3.2)."""
+
+import pytest
+
+from repro.core.branch_model import (
+    BranchPattern,
+    RNG_SEED,
+    emit_branch,
+    pattern_for,
+    xorshift32,
+)
+
+
+class TestPatternSelection:
+    def test_constant_taken(self):
+        pattern = pattern_for(taken_rate=0.98, transition_rate=0.0)
+        assert pattern.kind == "taken"
+        assert pattern.expected_taken_rate() == 1.0
+
+    def test_constant_not_taken(self):
+        pattern = pattern_for(taken_rate=0.01, transition_rate=0.01)
+        assert pattern.kind == "not_taken"
+
+    def test_alternating_becomes_modulo_period_2(self):
+        pattern = pattern_for(taken_rate=0.5, transition_rate=1.0)
+        assert pattern.kind == "modulo"
+        assert pattern.period == 2
+
+    def test_structured_runs_become_modulo(self):
+        # Long runs: t=0.0625 (period ~32), p=0.5 — far from independence
+        # (2p(1-p)=0.5), so the modulo pattern is chosen.
+        pattern = pattern_for(taken_rate=0.5, transition_rate=0.0625)
+        assert pattern.kind == "modulo"
+        assert pattern.period == 32
+
+    def test_independent_looking_becomes_random(self):
+        # t ~ 2p(1-p): no structure in the direction sequence.
+        pattern = pattern_for(taken_rate=0.5, transition_rate=0.5)
+        assert pattern.kind == "random"
+        assert pattern.expected_taken_rate() == pytest.approx(0.5)
+
+    def test_biased_independent_random_threshold(self):
+        pattern = pattern_for(taken_rate=0.75, transition_rate=0.38)
+        assert pattern.kind == "random"
+        assert pattern.threshold == 6  # 0.75 * 8
+
+    def test_random_shift_distinct(self):
+        a = pattern_for(0.5, 0.5, random_shift=0)
+        b = pattern_for(0.5, 0.5, random_shift=1)
+        assert a.shift != b.shift
+
+
+class TestPatternSemantics:
+    def test_modulo_direction_sequence(self):
+        pattern = BranchPattern(kind="modulo", period=8, threshold=3)
+        directions = [pattern.direction(i) for i in range(16)]
+        assert directions == [1, 1, 1, 0, 0, 0, 0, 0] * 2
+
+    def test_modulo_rates(self):
+        pattern = BranchPattern(kind="modulo", period=16, threshold=4)
+        assert pattern.expected_taken_rate() == pytest.approx(0.25)
+        assert pattern.expected_transition_rate() == pytest.approx(2 / 16)
+
+    def test_modulo_realized_transition_rate(self):
+        pattern = BranchPattern(kind="modulo", period=16, threshold=8)
+        directions = [pattern.direction(i) for i in range(1600)]
+        transitions = sum(1 for a, b in zip(directions, directions[1:])
+                          if a != b)
+        assert transitions / (len(directions) - 1) == pytest.approx(
+            pattern.expected_transition_rate(), rel=0.05)
+
+    def test_random_taken_rate_approximates_threshold(self):
+        pattern = BranchPattern(kind="random", threshold=6, shift=4)
+        state = RNG_SEED
+        taken = 0
+        for _ in range(4000):
+            taken += pattern.direction(0, rng_state=state)
+            state = xorshift32(state)
+        assert taken / 4000 == pytest.approx(6 / 8, abs=0.05)
+
+    def test_random_direction_without_state(self):
+        pattern = BranchPattern(kind="random", threshold=4, shift=0)
+        state = xorshift32(xorshift32(RNG_SEED))
+        assert pattern.direction(2) == pattern.direction(2, rng_state=state)
+
+    def test_xorshift_nonzero_cycle(self):
+        state = RNG_SEED
+        seen = set()
+        for _ in range(1000):
+            state = xorshift32(state)
+            assert state != 0
+            seen.add(state)
+        assert len(seen) == 1000
+
+
+class TestEmission:
+    def test_constant_emission(self):
+        assert emit_branch(BranchPattern(kind="taken"), "L") \
+            == ["    beq r0, r0, L"]
+        assert emit_branch(BranchPattern(kind="not_taken"), "L") \
+            == ["    bne r0, r0, L"]
+
+    def test_modulo_emission_shape(self):
+        lines = emit_branch(BranchPattern(kind="modulo", period=8,
+                                          threshold=3), "L7")
+        assert len(lines) == 3
+        assert "andi" in lines[0] and "7" in lines[0]
+        assert "slti" in lines[1] and "3" in lines[1]
+        assert lines[2].strip().startswith("bne") and "L7" in lines[2]
+
+    def test_random_emission_shape(self):
+        lines = emit_branch(BranchPattern(kind="random", threshold=5,
+                                          shift=10), "Lx")
+        assert len(lines) == 4
+        assert "srli" in lines[0] and "r31" in lines[0]
+        assert "andi" in lines[1]
+        assert "slti" in lines[2]
+        assert "Lx" in lines[3]

@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("qsort", "sha", "mpeg2dec"):
+            assert name in out
+        assert "automotive" in out
+
+
+class TestProfile:
+    def test_profile_workload_to_json(self, tmp_path, capsys):
+        output = tmp_path / "p.json"
+        assert main(["profile", "crc32", "-o", str(output)]) == 0
+        assert output.exists()
+        out = capsys.readouterr().out
+        assert "instructions" in out
+
+    def test_profile_assembly_file(self, tmp_path, capsys):
+        source = tmp_path / "tiny.s"
+        source.write_text("""
+    .data
+buf: .space 64
+    .text
+main:
+    la r4, buf
+    li r1, 0
+    li r2, 50
+loop:
+    lw r3, 0(r4)
+    addi r1, r1, 1
+    blt r1, r2, loop
+    halt
+""")
+        output = tmp_path / "tiny.json"
+        assert main(["profile", str(source), "-o", str(output)]) == 0
+        assert output.exists()
+
+    def test_unknown_target_errors(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "not-a-workload"])
+
+
+class TestClone:
+    def test_clone_from_workload(self, tmp_path, capsys):
+        outdir = tmp_path / "out"
+        assert main(["clone", "bitcount", "-o", str(outdir),
+                     "--instructions", "30000"]) == 0
+        files = os.listdir(outdir)
+        assert any(name.endswith(".clone.s") for name in files)
+        assert any(name.endswith(".clone.c") for name in files)
+
+    def test_clone_from_json_profile(self, tmp_path, capsys):
+        profile_path = tmp_path / "p.json"
+        main(["profile", "bitcount", "-o", str(profile_path)])
+        outdir = tmp_path / "out2"
+        assert main(["clone", str(profile_path), "-o", str(outdir),
+                     "--instructions", "30000"]) == 0
+        assert os.listdir(outdir)
+
+    def test_clone_artifacts_reassemble(self, tmp_path):
+        from repro.isa import assemble
+        outdir = tmp_path / "out3"
+        main(["clone", "bitcount", "-o", str(outdir),
+              "--instructions", "20000"])
+        asm_file = [name for name in os.listdir(outdir)
+                    if name.endswith(".s")][0]
+        with open(outdir / asm_file) as handle:
+            program = assemble(handle.read())
+        assert len(program) > 50
+
+
+class TestAnalysis:
+    def test_compare(self, capsys):
+        assert main(["compare", "bitcount",
+                     "--instructions", "30000"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out and "power" in out
+
+    def test_estimate(self, capsys):
+        assert main(["estimate", "bitcount",
+                     "--instructions", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "statistical IPC estimate" in out

@@ -1,0 +1,79 @@
+"""Corpus-level clone fidelity: for a cross-domain sample of workloads,
+the generated clone must reproduce the headline microarchitecture-
+independent attributes of its original."""
+
+import pytest
+
+from repro.core import profile_trace
+from repro.evaluation import workload_artifacts
+from repro.isa.instructions import IClass
+
+SAMPLE = ["qsort", "susan", "dijkstra", "sha", "adpcm", "fft",
+          "stringsearch", "mpeg2dec"]
+
+
+@pytest.fixture(scope="module")
+def fidelity():
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            artifacts = workload_artifacts(name)
+            cache[name] = (artifacts.profile,
+                           profile_trace(artifacts.clone_trace))
+        return cache[name]
+
+    return get
+
+
+@pytest.mark.parametrize("name", SAMPLE)
+class TestCloneFidelityAcrossCorpus:
+    def test_clone_runs_to_target_length(self, name, fidelity):
+        _, clone_profile = fidelity(name)
+        assert 60_000 <= clone_profile.total_instructions <= 240_000
+
+    def test_memory_fraction(self, name, fidelity):
+        original, clone = fidelity(name)
+        real = original.total_memory_ops / original.total_instructions
+        synthetic = clone.total_memory_ops / clone.total_instructions
+        assert synthetic == pytest.approx(real, abs=0.08)
+
+    def test_branch_fraction(self, name, fidelity):
+        # Tolerance is looser than for memory ops: the modulo/random
+        # condition-setup instructions cannot be discounted out of
+        # single-digit-size blocks, which dilutes very branchy kernels
+        # (susan) — the paper's divide-based mechanism dilutes likewise.
+        original, clone = fidelity(name)
+        real = original.total_branches / original.total_instructions
+        synthetic = clone.total_branches / clone.total_instructions
+        assert synthetic == pytest.approx(real, abs=0.12)
+
+    def test_compute_class_mix(self, name, fidelity):
+        original, clone = fidelity(name)
+        real = original.mix_fractions()
+        synthetic = clone.mix_fractions()
+        for iclass in (IClass.IMUL, IClass.IDIV, IClass.FMUL, IClass.FDIV):
+            assert synthetic[iclass] == pytest.approx(real[iclass],
+                                                      abs=0.05)
+
+    def test_taken_rate(self, name, fidelity):
+        original, clone = fidelity(name)
+
+        def weighted(profile):
+            total = sum(b.count for b in profile.branches.values())
+            return sum(b.taken_rate * b.count
+                       for b in profile.branches.values()) / total
+
+        assert weighted(clone) == pytest.approx(weighted(original),
+                                                abs=0.15)
+
+    def test_footprint_order_of_magnitude(self, name, fidelity):
+        original, clone = fidelity(name)
+        ratio = clone.data_footprint_bytes / original.data_footprint_bytes
+        assert 0.2 <= ratio <= 8.0
+
+    def test_clone_is_loopy(self, name, fidelity):
+        _, clone = fidelity(name)
+        # The clone re-executes its body, so dynamic blocks >> static.
+        visits = sum(stats.visits for stats in clone.blocks.values())
+        assert visits > 3 * len(clone.blocks)

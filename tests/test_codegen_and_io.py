@@ -1,0 +1,75 @@
+"""Tests for profile serialization and the C-with-asm emitter (step 12)."""
+
+from repro.core import WorkloadProfile, emit_c_source
+from repro.core.profile import BranchStats, MemOpStats
+
+
+class TestProfileIO:
+    def test_json_round_trip(self, loop_nest_profile):
+        text = loop_nest_profile.to_json()
+        restored = WorkloadProfile.from_json(text)
+        assert restored.to_dict() == loop_nest_profile.to_dict()
+
+    def test_round_trip_preserves_types(self, loop_nest_profile):
+        restored = WorkloadProfile.from_json(loop_nest_profile.to_json())
+        for key in restored.contexts:
+            assert isinstance(key, tuple) and len(key) == 2
+        for pc, stats in restored.mem_ops.items():
+            assert isinstance(pc, int)
+            assert isinstance(stats, MemOpStats)
+        for stats in restored.branches.values():
+            assert isinstance(stats, BranchStats)
+
+    def test_file_round_trip(self, tmp_path, loop_nest_profile):
+        path = tmp_path / "profile.json"
+        loop_nest_profile.save(path)
+        assert WorkloadProfile.load(path).to_dict() \
+            == loop_nest_profile.to_dict()
+
+    def test_clone_from_restored_profile_identical(self, loop_nest_profile):
+        """A vendor can ship the JSON profile instead of the binary."""
+        from repro.core import make_clone
+        from repro.core.synthesizer import SynthesisParameters
+        params = SynthesisParameters(dynamic_instructions=15_000)
+        direct = make_clone(loop_nest_profile, params)
+        restored = WorkloadProfile.from_json(loop_nest_profile.to_json())
+        via_json = make_clone(restored, params)
+        assert direct.asm_source == via_json.asm_source
+
+
+class TestCEmitter:
+    def test_structure(self, loop_nest_clone):
+        source = emit_c_source(loop_nest_clone.program)
+        assert source.startswith("/*")
+        assert "#include <stdlib.h>" in source
+        assert "int main(void)" in source
+        assert "malloc(" in source
+        assert "free(streams);" in source
+        assert source.rstrip().endswith("}")
+
+    def test_every_statement_volatile(self, loop_nest_clone):
+        source = emit_c_source(loop_nest_clone.program)
+        for line in source.splitlines():
+            if "asm " in line:
+                assert "volatile" in line
+
+    def test_labels_and_gotos(self, loop_nest_clone):
+        source = emit_c_source(loop_nest_clone.program)
+        # Block labels are emitted (co-located labels may be coalesced).
+        assert "bb0:" in source
+        assert "goto done;" in source
+
+    def test_data_symbols_exposed(self, loop_nest_clone):
+        source = emit_c_source(loop_nest_clone.program)
+        for symbol in loop_nest_clone.program.data_symbols:
+            assert f"void *{symbol}" in source
+
+    def test_no_data_program(self):
+        from repro.isa import assemble
+        program = assemble("    .text\n    nop\n    halt\n")
+        source = emit_c_source(program)
+        assert "malloc" not in source
+
+    def test_balanced_braces(self, loop_nest_clone):
+        source = emit_c_source(loop_nest_clone.program)
+        assert source.count("{") == source.count("}")

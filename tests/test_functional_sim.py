@@ -1,0 +1,289 @@
+"""Functional-simulator semantics, opcode by opcode."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.isa.registers import REG_SP, fp_reg
+from repro.sim import FunctionalSimulator, SimulationError, run_program
+
+
+def run(body, data=""):
+    source = ""
+    if data:
+        source += "    .data\n" + data + "\n"
+    source += "    .text\n" + body + "\n    halt\n"
+    simulator = FunctionalSimulator(assemble(source))
+    simulator.run()
+    return simulator
+
+
+def reg(simulator, number):
+    return simulator.regs[number]
+
+
+def sreg(simulator, number):
+    value = simulator.regs[number]
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+class TestIntArithmetic:
+    def test_add_sub(self):
+        s = run("    li r1, 7\n    li r2, 5\n    add r3, r1, r2\n"
+                "    sub r4, r1, r2")
+        assert reg(s, 3) == 12 and reg(s, 4) == 2
+
+    def test_add_wraps_32_bits(self):
+        s = run("    li r1, 0x7FFFFFFF\n    addi r2, r1, 1")
+        assert reg(s, 2) == 0x80000000
+
+    def test_sub_underflow_wraps(self):
+        s = run("    li r1, 0\n    addi r2, r1, -1")
+        assert reg(s, 2) == 0xFFFFFFFF
+
+    def test_logic_ops(self):
+        s = run("    li r1, 0b1100\n    li r2, 0b1010\n"
+                "    and r3, r1, r2\n    or r4, r1, r2\n"
+                "    xor r5, r1, r2\n    nor r6, r1, r2")
+        assert reg(s, 3) == 0b1000
+        assert reg(s, 4) == 0b1110
+        assert reg(s, 5) == 0b0110
+        assert reg(s, 6) == 0xFFFFFFF1
+
+    def test_shifts(self):
+        s = run("    li r1, -8\n    li r2, 2\n"
+                "    sll r3, r1, r2\n    srl r4, r1, r2\n    sra r5, r1, r2")
+        assert reg(s, 3) == (0xFFFFFFF8 << 2) & 0xFFFFFFFF
+        assert reg(s, 4) == 0xFFFFFFF8 >> 2
+        assert sreg(s, 5) == -2
+
+    def test_shift_amount_masked_to_5_bits(self):
+        s = run("    li r1, 1\n    li r2, 33\n    sll r3, r1, r2")
+        assert reg(s, 3) == 2
+
+    def test_immediate_variants(self):
+        s = run("    li r1, 0xF0\n    andi r2, r1, 0x30\n"
+                "    ori r3, r1, 0x0F\n    xori r4, r1, 0xFF\n"
+                "    slli r5, r1, 1\n    srli r6, r1, 4\n    srai r7, r1, 4")
+        assert reg(s, 2) == 0x30
+        assert reg(s, 3) == 0xFF
+        assert reg(s, 4) == 0x0F
+        assert reg(s, 5) == 0x1E0
+        assert reg(s, 6) == 0x0F
+        assert reg(s, 7) == 0x0F
+
+    def test_set_less_than(self):
+        s = run("    li r1, -1\n    li r2, 1\n"
+                "    slt r3, r1, r2\n    sltu r4, r1, r2\n"
+                "    slti r5, r1, 0\n    sltiu r6, r2, 2")
+        assert reg(s, 3) == 1  # -1 < 1 signed
+        assert reg(s, 4) == 0  # 0xffffffff > 1 unsigned
+        assert reg(s, 5) == 1
+        assert reg(s, 6) == 1
+
+    def test_lui(self):
+        s = run("    lui r1, 0x1234")
+        assert reg(s, 1) == 0x12340000
+
+    def test_r0_ignores_writes(self):
+        s = run("    addi r0, r0, 99\n    add r1, r0, r0")
+        assert reg(s, 0) == 0 and reg(s, 1) == 0
+
+
+class TestMulDiv:
+    def test_mul_signed(self):
+        s = run("    li r1, -3\n    li r2, 7\n    mul r3, r1, r2")
+        assert sreg(s, 3) == -21
+
+    def test_mulh(self):
+        s = run("    li r1, 0x10000\n    li r2, 0x10000\n    mulh r3, r1, r2")
+        assert reg(s, 3) == 1
+
+    def test_div_truncates_toward_zero(self):
+        s = run("    li r1, -7\n    li r2, 2\n    div r3, r1, r2\n"
+                "    rem r4, r1, r2")
+        assert sreg(s, 3) == -3
+        assert sreg(s, 4) == -1
+
+    def test_div_by_zero_yields_zero(self):
+        s = run("    li r1, 5\n    div r2, r1, r0\n    rem r3, r1, r0\n"
+                "    divu r4, r1, r0\n    remu r5, r1, r0")
+        assert reg(s, 2) == 0 and reg(s, 3) == 0
+        assert reg(s, 4) == 0 and reg(s, 5) == 0
+
+    def test_divu_remu(self):
+        s = run("    li r1, -1\n    li r2, 16\n"
+                "    divu r3, r1, r2\n    remu r4, r1, r2")
+        assert reg(s, 3) == 0xFFFFFFFF // 16
+        assert reg(s, 4) == 0xFFFFFFFF % 16
+
+
+class TestMemory:
+    def test_word_round_trip(self):
+        s = run("    la r4, buf\n    li r1, 0xBEEF\n    sw r1, 0(r4)\n"
+                "    lw r2, 0(r4)", data="buf: .space 8")
+        assert reg(s, 2) == 0xBEEF
+
+    def test_load_initial_data(self):
+        s = run("    la r4, vals\n    lw r1, 4(r4)", data="vals: .word 7, 9")
+        assert reg(s, 1) == 9
+
+    def test_byte_ops(self):
+        s = run("    la r4, buf\n    li r1, 0x1FF\n    sb r1, 0(r4)\n"
+                "    lbu r2, 0(r4)\n    lb r3, 0(r4)", data="buf: .space 4")
+        assert reg(s, 2) == 0xFF
+        assert sreg(s, 3) == -1
+
+    def test_negative_offsets(self):
+        s = run("    la r4, vals\n    addi r4, r4, 8\n    lw r1, -8(r4)",
+                data="vals: .word 42, 0")
+        assert reg(s, 1) == 42
+
+    def test_fp_memory_round_trip(self):
+        s = run("    la r4, buf\n    fli f1, 2.75\n    fsw f1, 0(r4)\n"
+                "    flw f2, 0(r4)", data="buf: .space 16")
+        assert s.regs[fp_reg(2)] == 2.75
+
+    def test_out_of_range_load_raises(self):
+        with pytest.raises(SimulationError):
+            run("    li r4, -4\n    lw r1, 0(r4)")
+
+
+class TestBranches:
+    def test_taken_and_not_taken(self):
+        s = run("""
+    li r1, 1
+    li r2, 2
+    blt r1, r2, yes
+    li r3, 111
+yes:
+    bge r1, r2, no
+    li r4, 222
+no:
+    nop""")
+        assert reg(s, 3) == 0
+        assert reg(s, 4) == 222
+
+    def test_signed_vs_unsigned_compare(self):
+        s = run("""
+    li r1, -1
+    li r2, 1
+    bltu r1, r2, uns
+    li r3, 1
+uns:
+    blt r1, r2, sgn
+    li r4, 1
+sgn:
+    nop""")
+        assert reg(s, 3) == 1  # bltu not taken (0xffffffff > 1)
+        assert reg(s, 4) == 0  # blt taken
+
+    def test_beq_bne(self):
+        s = run("""
+    li r1, 5
+    li r2, 5
+    beq r1, r2, eq
+    li r3, 1
+eq:
+    bne r1, r2, ne
+    li r4, 1
+ne:
+    nop""")
+        assert reg(s, 3) == 0
+        assert reg(s, 4) == 1
+
+
+class TestJumps:
+    def test_jal_jr_round_trip(self):
+        s = run("""
+    jal func
+    li r2, 10
+    j end
+func:
+    li r1, 5
+    jr r31
+end:
+    nop""")
+        assert reg(s, 1) == 5
+        assert reg(s, 2) == 10
+
+    def test_jalr(self):
+        s = run("""
+    la r4, ftab
+    lw r5, 0(r4)
+    jalr r6, r5
+    j end
+target:
+    li r1, 77
+    jr r6
+end:
+    nop""", data="ftab: .word target")
+        assert reg(s, 1) == 77
+
+
+class TestFloat:
+    def test_arith(self):
+        s = run("    fli f1, 3.0\n    fli f2, 2.0\n"
+                "    fadd f3, f1, f2\n    fsub f4, f1, f2\n"
+                "    fmul f5, f1, f2\n    fdiv f6, f1, f2")
+        regs = s.regs
+        assert regs[fp_reg(3)] == 5.0
+        assert regs[fp_reg(4)] == 1.0
+        assert regs[fp_reg(5)] == 6.0
+        assert regs[fp_reg(6)] == 1.5
+
+    def test_fdiv_by_zero_is_zero(self):
+        s = run("    fli f1, 3.0\n    fli f2, 0.0\n    fdiv f3, f1, f2")
+        assert s.regs[fp_reg(3)] == 0.0
+
+    def test_fsqrt(self):
+        s = run("    fli f1, 9.0\n    fsqrt f2, f1")
+        assert s.regs[fp_reg(2)] == 3.0
+
+    def test_fsqrt_negative_clamped(self):
+        s = run("    fli f1, -4.0\n    fsqrt f2, f1")
+        assert s.regs[fp_reg(2)] == 0.0
+
+    def test_unary_and_minmax(self):
+        s = run("    fli f1, -2.5\n    fneg f2, f1\n    fabs f3, f1\n"
+                "    fli f4, 1.0\n    fmin f5, f1, f4\n    fmax f6, f1, f4\n"
+                "    fmv f7, f1")
+        regs = s.regs
+        assert regs[fp_reg(2)] == 2.5
+        assert regs[fp_reg(3)] == 2.5
+        assert regs[fp_reg(5)] == -2.5
+        assert regs[fp_reg(6)] == 1.0
+        assert regs[fp_reg(7)] == -2.5
+
+    def test_compares_write_int(self):
+        s = run("    fli f1, 1.0\n    fli f2, 2.0\n"
+                "    flt r1, f1, f2\n    fle r2, f2, f1\n    feq r3, f1, f1")
+        assert reg(s, 1) == 1 and reg(s, 2) == 0 and reg(s, 3) == 1
+
+    def test_conversions(self):
+        s = run("    fli f1, -3.7\n    fcvtws r1, f1\n"
+                "    li r2, -5\n    fcvtsw f2, r2")
+        assert sreg(s, 1) == -3  # truncation
+        assert s.regs[fp_reg(2)] == -5.0
+
+
+class TestHarness:
+    def test_initial_stack_pointer(self, sum_program):
+        simulator = FunctionalSimulator(sum_program)
+        assert simulator.regs[REG_SP] == sum_program.stack_top
+
+    def test_instruction_cap(self):
+        source = "    .text\nspin:\n    j spin\n    halt\n"
+        with pytest.raises(SimulationError):
+            FunctionalSimulator(assemble(source)).run(max_instructions=100)
+
+    def test_run_program_counts(self, sum_program):
+        trace = run_program(sum_program)
+        simulator = run_program(sum_program, trace=False)
+        assert simulator.instructions_executed == len(trace)
+        assert simulator.halted
+
+    def test_sum_result(self, sum_program):
+        simulator = run_program(sum_program, trace=False)
+        address = sum_program.data_symbols["result"]
+        assert simulator.memory.read_word(address) == sum(
+            [5, 3, 8, 1, 9, 2, 7, 4])

@@ -1,0 +1,100 @@
+"""Unit tests for the opcode table and Instruction record."""
+
+import pytest
+
+from repro.isa.instructions import (
+    ICLASS_NAMES,
+    IClass,
+    Instruction,
+    OPCODES,
+    make_jal,
+)
+from repro.isa.registers import REG_RA
+
+
+class TestOpcodeTable:
+    def test_class_names_cover_all_classes(self):
+        assert len(ICLASS_NAMES) == IClass.COUNT
+
+    def test_every_opcode_has_valid_class(self):
+        for spec in OPCODES.values():
+            assert 0 <= spec.iclass < IClass.COUNT
+
+    @pytest.mark.parametrize("name,iclass", [
+        ("add", IClass.IALU), ("addi", IClass.IALU), ("lui", IClass.IALU),
+        ("mul", IClass.IMUL), ("div", IClass.IDIV), ("rem", IClass.IDIV),
+        ("fadd", IClass.FALU), ("fmul", IClass.FMUL), ("fdiv", IClass.FDIV),
+        ("fsqrt", IClass.FDIV), ("lw", IClass.LOAD), ("flw", IClass.LOAD),
+        ("sw", IClass.STORE), ("fsw", IClass.STORE), ("beq", IClass.BRANCH),
+        ("j", IClass.JUMP), ("jal", IClass.JUMP), ("jr", IClass.JUMP),
+        ("halt", IClass.OTHER),
+    ])
+    def test_expected_classes(self, name, iclass):
+        assert OPCODES[name].iclass == iclass
+
+    def test_memory_classes(self):
+        assert IClass.LOAD in IClass.MEMORY
+        assert IClass.STORE in IClass.MEMORY
+        assert IClass.IALU not in IClass.MEMORY
+
+
+class TestInstruction:
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction("frobnicate")
+
+    def test_srcs_collects_operands(self):
+        instr = Instruction("add", rd=5, rs1=6, rs2=7)
+        assert instr.srcs == (6, 7)
+        assert instr.rd == 5
+
+    def test_srcs_single_operand(self):
+        instr = Instruction("addi", rd=5, rs1=6, imm=1)
+        assert instr.srcs == (6,)
+
+    def test_flags_load(self):
+        instr = Instruction("lw", rd=5, rs1=6, imm=0)
+        assert instr.is_mem
+        assert not instr.is_cond_branch
+        assert not instr.is_ctrl
+
+    def test_flags_branch(self):
+        instr = Instruction("beq", rs1=1, rs2=2, target=7)
+        assert instr.is_cond_branch
+        assert instr.is_ctrl
+        assert not instr.is_mem
+
+    def test_flags_jump(self):
+        instr = Instruction("j", target=0)
+        assert instr.is_ctrl
+        assert not instr.is_cond_branch
+
+    def test_make_jal_writes_ra(self):
+        instr = make_jal(12)
+        assert instr.rd == REG_RA
+        assert instr.target == 12
+
+
+class TestRender:
+    def test_render_r3(self):
+        assert Instruction("add", rd=1, rs1=2, rs2=3).render() \
+            == "add r1, r2, r3"
+
+    def test_render_load(self):
+        assert Instruction("lw", rd=4, rs1=5, imm=8).render() == "lw r4, 8(r5)"
+
+    def test_render_store_operand_order(self):
+        text = Instruction("sw", rs2=4, rs1=5, imm=-4).render()
+        assert text == "sw r4, -4(r5)"
+
+    def test_render_branch_with_label_map(self):
+        instr = Instruction("bne", rs1=1, rs2=0, target=3)
+        assert instr.render({3: "loop"}) == "bne r1, r0, loop"
+
+    def test_render_branch_without_label_map(self):
+        instr = Instruction("bne", rs1=1, rs2=0, target=3)
+        assert "@3" in instr.render()
+
+    def test_render_fp(self):
+        assert Instruction("fadd", rd=33, rs1=34, rs2=35).render() \
+            == "fadd f1, f2, f3"

@@ -1,0 +1,190 @@
+"""Tests for the stream-cluster memory model (paper Sec. 3.1.4 / step 11)."""
+
+import pytest
+
+from repro.core.memory_model import MIN_RESET, StreamPlan
+from repro.core.profile import MemOpStats, WorkloadProfile
+
+
+def make_profile(mem_ops, footprint=4096):
+    profile = WorkloadProfile(name="synthetic", total_instructions=10_000,
+                              total_memory_ops=sum(m.count for m in mem_ops),
+                              total_branches=100)
+    profile.mem_ops = {m.pc: m for m in mem_ops}
+    profile.data_footprint_bytes = footprint
+    return profile
+
+
+def op(pc, stride, count=200, coverage=1.0, length=32.0, footprint=512,
+       first=0x100000, store=False, local=1.0):
+    return MemOpStats(pc=pc, is_store=store, count=count,
+                      dominant_stride=stride, coverage=coverage,
+                      mean_stream_length=length, distinct_strides=1,
+                      footprint_bytes=footprint, first_address=first,
+                      last_address=first + footprint - 4,
+                      local_fraction=local)
+
+
+class TestClustering:
+    def test_ops_grouped_by_stride(self):
+        plan = StreamPlan(make_profile([op(1, 4), op(2, 4), op(3, 8,
+                                                              first=0x200000)]))
+        strides = sorted(cluster.stride for cluster in plan.clusters)
+        assert strides == [4, 8]
+
+    def test_cluster_count_capped(self):
+        ops = [op(i, 4 * (i + 1), first=0x100000 + 0x10000 * i)
+               for i in range(12)]
+        plan = StreamPlan(make_profile(ops), max_clusters=4)
+        assert len(plan.clusters) <= 4
+        # every op still routed somewhere
+        for memop in ops:
+            handle = plan.allocate(memop.pc)
+            assert handle[0] < len(plan.clusters)
+
+    def test_empty_profile_gets_default_cluster(self):
+        plan = StreamPlan(make_profile([]))
+        assert plan.clusters
+        plan.finalize()
+
+    def test_scatter_detection(self):
+        lookup = op(1, -216, coverage=0.3, footprint=1024, local=0.05)
+        plan = StreamPlan(make_profile([lookup]))
+        cluster = plan.clusters[plan.allocate(1)[0]]
+        assert cluster.stride == StreamPlan.SCATTER_STRIDE
+
+    def test_local_scatter_uses_dense_stride(self):
+        window = op(1, 71, coverage=0.3, footprint=2048, local=0.5)
+        plan = StreamPlan(make_profile([window]))
+        cluster = plan.clusters[plan.allocate(1)[0]]
+        assert cluster.stride == 4
+
+    def test_sweep_once_classification(self):
+        streaming = op(1, 4, count=1000, footprint=4000, length=999.0)
+        looping = op(2, 4, count=1000, footprint=256, length=64.0,
+                     first=0x200000)
+        plan = StreamPlan(make_profile([streaming, looping]))
+        once = plan.clusters[plan.allocate(1)[0]]
+        loop = plan.clusters[plan.allocate(2)[0]]
+        assert once.sweep_once and not loop.sweep_once
+
+
+class TestRegions:
+    def test_overlapping_ops_share_a_region(self):
+        # Neighbourhood taps over one image: starts within 128B.
+        taps = [op(i, 1, count=3000, footprint=3000, length=70.0,
+                   first=0x100000 + 48 * i) for i in range(3)]
+        plan = StreamPlan(make_profile(taps))
+        regions = {plan.allocate(i)[1] for i in range(3)}
+        assert len(regions) == 1
+
+    def test_distant_ops_get_distinct_regions(self):
+        a = op(1, 4, first=0x100000)
+        b = op(2, 4, first=0x108000)
+        plan = StreamPlan(make_profile([a, b]))
+        assert plan.allocate(1)[1] != plan.allocate(2)[1]
+
+    def test_relative_offsets_preserved(self):
+        a = op(1, 1, count=3000, footprint=3000, length=70.0,
+               first=0x100000)
+        b = op(2, 1, count=3000, footprint=3000, length=70.0,
+               first=0x100048)  # 72 bytes into the same image
+        plan = StreamPlan(make_profile([a, b], footprint=6000))
+        handle_a = plan.allocate(1)
+        handle_b = plan.allocate(2)
+        plan.finalize()
+        _, offset_a = plan.locate(handle_a)
+        _, offset_b = plan.locate(handle_b)
+        assert offset_b - offset_a == 72
+
+
+class TestLayout:
+    def test_footprint_tracks_target(self):
+        ops = [op(i, 4, count=400, footprint=2048, length=64.0,
+                  first=0x100000 + 0x1000 * i) for i in range(4)]
+        profile = make_profile(ops, footprint=8192)
+        plan = StreamPlan(profile)
+        for i in range(4):
+            for _ in range(5):
+                plan.allocate(i)
+        plan.finalize()
+        total = plan.total_footprint()
+        assert 0.25 * 8192 <= total <= 4 * 8192
+
+    def test_footprint_scale_knob(self):
+        def build(scale):
+            # A looping op (footprint well below stride*count), so the
+            # alpha solve — which the scale knob feeds — applies.
+            ops = [op(1, 4, count=4000, footprint=4096, length=64.0)]
+            plan = StreamPlan(make_profile(ops, footprint=4096),
+                              footprint_scale=scale)
+            for _ in range(6):
+                plan.allocate(1)
+            plan.finalize()
+            return plan.total_footprint()
+        assert build(4.0) > build(1.0) > build(0.25)
+
+    def test_offsets_within_region(self):
+        ops = [op(1, 4), op(2, -8, first=0x200000)]
+        plan = StreamPlan(make_profile(ops))
+        handles = [plan.allocate(1) for _ in range(8)]
+        handles += [plan.allocate(2) for _ in range(8)]
+        plan.finalize()
+        for handle in handles:
+            cluster_index, offset = plan.locate(handle)
+            cluster = plan.clusters[cluster_index]
+            assert 0 <= offset < cluster.region
+            # Worst case over the whole walk must stay in-region.
+            walk_min = offset + min(0, cluster.advance
+                                    * (cluster.reset_period - 1))
+            walk_max = offset + max(0, cluster.advance
+                                    * (cluster.reset_period - 1)) + 8
+            assert walk_min >= 0
+            assert walk_max <= cluster.region
+
+    def test_reset_period_bounds(self):
+        ops = [op(1, 4), op(2, 0, first=0x200000, footprint=4)]
+        plan = StreamPlan(make_profile(ops))
+        plan.allocate(1)
+        plan.allocate(2)
+        plan.finalize()
+        for cluster in plan.active_clusters():
+            assert cluster.reset_period >= MIN_RESET
+
+    def test_instance_addresses_advance_by_stride(self):
+        plan = StreamPlan(make_profile([op(1, 4, footprint=4096)]))
+        first = plan.allocate(1)
+        second = plan.allocate(1)
+        plan.finalize()
+        _, offset_a = plan.locate(first)
+        _, offset_b = plan.locate(second)
+        assert offset_b - offset_a == 4
+
+    def test_loop_instances_wrap_at_footprint(self):
+        small = op(1, 4, count=500, footprint=32, length=8.0)
+        plan = StreamPlan(make_profile([small], footprint=64))
+        handles = [plan.allocate(1) for _ in range(20)]
+        plan.finalize()
+        offsets = {plan.locate(handle)[1] for handle in handles}
+        # Bounded by the op's footprint (floored at 64 bytes), never the
+        # 20 * stride = 80 bytes unconstrained instances would span.
+        assert max(offsets) - min(offsets) <= 64
+
+    def test_data_directives_cover_regions(self):
+        plan = StreamPlan(make_profile([op(1, 4)]))
+        plan.allocate(1)
+        plan.finalize()
+        lines = plan.data_directives()
+        assert any(".space" in line for line in lines)
+        assert any("stream_0:" in line for line in lines)
+
+    def test_sweep_once_tiles_seamlessly(self):
+        streaming = op(1, 4, count=1000, footprint=4000, length=999.0)
+        plan = StreamPlan(make_profile([streaming], footprint=4000))
+        handles = [plan.allocate(1) for _ in range(10)]
+        plan.finalize()
+        cluster = plan.clusters[handles[0][0]]
+        offsets = sorted(plan.locate(handle)[1] for handle in handles)
+        # Ten instances spread across one advance window.
+        assert offsets[-1] - offsets[0] == pytest.approx(
+            cluster.advance * 9 / 10, abs=abs(cluster.advance) / 10 + 1)

@@ -1,0 +1,112 @@
+"""Unit tests for the evaluation metrics."""
+
+import math
+
+import pytest
+
+from repro.evaluation import (
+    format_table,
+    mean_absolute_percentage_error,
+    pearson,
+    rank_vector,
+    relative_error,
+    spearman,
+)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_uncorrelated(self):
+        assert abs(pearson([1, 2, 1, 2], [5, 5, 6, 6])) < 1e-9
+
+    def test_bounded(self):
+        xs = [0.3, 1.7, 2.2, 9.1, 4.0]
+        ys = [2.0, 0.1, 5.5, 3.3, 1.1]
+        assert -1.0 <= pearson(xs, ys) <= 1.0
+
+    def test_shift_and_scale_invariant(self):
+        xs = [1.0, 4.0, 2.0, 8.0]
+        ys = [0.5, 0.9, 0.3, 1.5]
+        base = pearson(xs, ys)
+        assert pearson([3 * x + 7 for x in xs], ys) == pytest.approx(base)
+
+    def test_constant_series(self):
+        assert pearson([1, 1, 1], [2, 3, 4]) == 0.0
+        assert pearson([1, 1, 1], [5, 5, 5]) == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson([1], [1, 2])
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            pearson([1], [1])
+
+
+class TestRanks:
+    def test_rank_vector_basic(self):
+        assert rank_vector([30, 10, 20]) == [3.0, 1.0, 2.0]
+
+    def test_rank_vector_descending(self):
+        assert rank_vector([30, 10, 20], descending=True) == [1.0, 3.0, 2.0]
+
+    def test_ties_averaged(self):
+        assert rank_vector([5, 5, 1]) == [2.5, 2.5, 1.0]
+
+    def test_spearman_monotonic(self):
+        xs = [1, 2, 3, 4]
+        ys = [1, 10, 100, 1000]  # nonlinear but monotone
+        assert spearman(xs, ys) == pytest.approx(1.0)
+
+    def test_spearman_reversed(self):
+        assert spearman([1, 2, 3], [9, 5, 1]) == pytest.approx(-1.0)
+
+
+class TestRelativeError:
+    def test_zero_when_trends_match(self):
+        # Real speeds up 2x, clone speeds up 2x.
+        assert relative_error(2.0, 1.0, 4.0, 2.0) == pytest.approx(0.0)
+
+    def test_paper_formula(self):
+        # real ratio 2.0, synth ratio 1.8 -> |1.8-2.0|/2.0 = 0.1
+        assert relative_error(2.0, 1.0, 1.8, 1.0) == pytest.approx(0.1)
+
+    def test_symmetric_in_scale(self):
+        a = relative_error(3.0, 1.5, 2.8, 1.5)
+        b = relative_error(6.0, 3.0, 5.6, 3.0)
+        assert a == pytest.approx(b)
+
+
+class TestMape:
+    def test_basic(self):
+        assert mean_absolute_percentage_error(
+            [1.0, 2.0], [1.1, 1.8]) == pytest.approx((0.1 + 0.1) / 2)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_percentage_error([0.0], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_percentage_error([], [])
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_percentage_error([1.0], [1.0, 2.0])
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(["name", "value"],
+                            [["a", 1.23456], ["bb", 2]],
+                            float_format="{:.2f}")
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.23" in text
+        assert "2" in lines[3]
+        assert set(lines[1]) <= {"-", " "}

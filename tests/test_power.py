@@ -1,0 +1,70 @@
+"""Tests for the Wattch-style power model."""
+
+import pytest
+
+from repro.uarch import BASE_CONFIG, PowerModel, estimate_power, simulate_pipeline
+from repro.uarch.power import PowerBreakdown, _array_energy
+
+
+class TestScalingLaws:
+    def test_array_energy_grows_with_size(self):
+        assert _array_energy(16 * 1024) > _array_energy(1024)
+
+    def test_array_energy_grows_with_associativity(self):
+        assert _array_energy(1024, 8) > _array_energy(1024, 1)
+
+    def test_wider_machine_has_higher_peak(self):
+        narrow = PowerModel(BASE_CONFIG)
+        wide = PowerModel(BASE_CONFIG.renamed("w2", width=2))
+        assert wide.clock_power > narrow.clock_power
+        assert wide.peak["dispatch_window"] > narrow.peak["dispatch_window"]
+
+    def test_bigger_rob_costs_more(self):
+        small = PowerModel(BASE_CONFIG)
+        big = PowerModel(BASE_CONFIG.renamed("rob", rob_size=64))
+        assert big.e_dispatch > small.e_dispatch
+
+    def test_smaller_dcache_cheaper_per_access(self):
+        from repro.uarch.cache import CacheConfig
+        small = PowerModel(BASE_CONFIG.renamed(
+            "d8", l1d=CacheConfig(8 * 1024, 2, 32)))
+        assert small.e_dcache < PowerModel(BASE_CONFIG).e_dcache
+
+
+class TestEvaluation:
+    def test_total_is_sum_of_parts(self, loop_nest_trace):
+        result = simulate_pipeline(loop_nest_trace, BASE_CONFIG)
+        breakdown = PowerModel(BASE_CONFIG).evaluate(result)
+        parts = (breakdown.fetch + breakdown.dispatch_window
+                 + breakdown.regfile + breakdown.functional_units
+                 + breakdown.dcache + breakdown.icache + breakdown.l2
+                 + breakdown.branch_predictor + breakdown.lsq
+                 + breakdown.clock)
+        assert breakdown.total == pytest.approx(parts)
+
+    def test_positive_power(self, loop_nest_trace):
+        result = simulate_pipeline(loop_nest_trace, BASE_CONFIG)
+        assert estimate_power(result) > 0
+
+    def test_empty_breakdown_totals_zero(self):
+        assert PowerBreakdown().total == 0.0
+
+    def test_wider_machine_burns_more_power(self, loop_nest_trace):
+        wide_config = BASE_CONFIG.renamed("w2", width=2)
+        base = simulate_pipeline(loop_nest_trace, BASE_CONFIG)
+        wide = simulate_pipeline(loop_nest_trace, wide_config)
+        assert estimate_power(wide, wide_config) \
+            > estimate_power(base, BASE_CONFIG)
+
+    def test_in_order_burns_less_than_base(self, loop_nest_trace):
+        in_order = BASE_CONFIG.renamed("io", in_order=True)
+        base = simulate_pipeline(loop_nest_trace, BASE_CONFIG)
+        slower = simulate_pipeline(loop_nest_trace, in_order)
+        # Same work over more cycles => lower average power.
+        assert estimate_power(slower, in_order) \
+            <= estimate_power(base, BASE_CONFIG) * 1.001
+
+    def test_estimate_uses_result_config_by_default(self, loop_nest_trace):
+        result = simulate_pipeline(loop_nest_trace, BASE_CONFIG)
+        assert estimate_power(result) == pytest.approx(
+            estimate_power(result, BASE_CONFIG))

@@ -1,0 +1,257 @@
+"""Tests for the microarchitecture-independent profiler (paper Sec. 3.1)."""
+
+import pytest
+
+from repro.core import profile_program, profile_trace
+from repro.core.profile import DEP_BUCKETS, NUM_DEP_BUCKETS, dep_bucket
+from repro.isa import assemble
+from repro.isa.instructions import IClass
+from repro.sim import run_program
+
+
+def profile_of(body, data=""):
+    source = ""
+    if data:
+        source += "    .data\n" + data + "\n"
+    source += "    .text\n" + body + "\n    halt\n"
+    return profile_program(assemble(source))
+
+
+class TestBuckets:
+    def test_bucket_edges(self):
+        assert dep_bucket(1) == 0
+        assert dep_bucket(2) == 1
+        assert dep_bucket(3) == 2
+        assert dep_bucket(4) == 2
+        assert dep_bucket(6) == 3
+        assert dep_bucket(8) == 4
+        assert dep_bucket(16) == 5
+        assert dep_bucket(32) == 6
+        assert dep_bucket(33) == 7
+        assert dep_bucket(10_000) == 7
+
+    def test_bucket_count(self):
+        assert NUM_DEP_BUCKETS == len(DEP_BUCKETS) + 1
+
+
+class TestGlobalCounts:
+    def test_totals(self, loop_nest_trace, loop_nest_profile):
+        summary = loop_nest_trace.summary()
+        assert loop_nest_profile.total_instructions == summary["instructions"]
+        assert loop_nest_profile.total_memory_ops == summary["memory_ops"]
+        assert loop_nest_profile.total_branches == summary["branches"]
+
+    def test_mix_sums_to_total(self, loop_nest_profile):
+        assert sum(loop_nest_profile.global_mix) \
+            == loop_nest_profile.total_instructions
+
+    def test_mix_fractions_sum_to_one(self, loop_nest_profile):
+        assert sum(loop_nest_profile.mix_fractions()) == pytest.approx(1.0)
+
+    def test_mean_block_size(self, loop_nest_profile):
+        size = loop_nest_profile.mean_basic_block_size()
+        assert 1.0 < size < 20.0
+
+
+class TestFlowGraph:
+    def test_block_visits_match_dynamics(self, loop_nest_profile):
+        # Inner loop body runs 40 * 64 times.
+        inner = [stats for stats in loop_nest_profile.blocks.values()
+                 if stats.visits >= 2560 and stats.mem_pcs]
+        assert inner, "inner loop block not found"
+
+    def test_transition_counts_conserve_visits(self, loop_nest_profile):
+        for bid, stats in loop_nest_profile.blocks.items():
+            outgoing = sum(count for (pred, _), count
+                           in loop_nest_profile.transitions.items()
+                           if pred == bid)
+            # Every visit except possibly the last has a successor.
+            assert outgoing in (stats.visits, stats.visits - 1)
+
+    def test_context_visits_sum_to_block_visits(self, loop_nest_profile):
+        for bid, stats in loop_nest_profile.blocks.items():
+            ctx_total = sum(ctx.visits for (_, block), ctx
+                            in loop_nest_profile.contexts.items()
+                            if block == bid)
+            assert ctx_total == stats.visits
+
+    def test_block_mix_matches_static_block(self, loop_nest_profile,
+                                            loop_nest_program):
+        for bid, stats in loop_nest_profile.blocks.items():
+            block = loop_nest_program.basic_blocks()[bid]
+            assert sum(stats.mix) == block.size
+
+    def test_hot_blocks_ordering(self, loop_nest_profile):
+        hot = loop_nest_profile.hot_blocks()
+        weights = [loop_nest_profile.blocks[bid].visits
+                   * loop_nest_profile.blocks[bid].size for bid in hot]
+        assert weights == sorted(weights, reverse=True)
+        assert loop_nest_profile.hot_blocks(limit=2) == hot[:2]
+
+
+class TestDependencies:
+    def test_simple_chain_distance_one(self):
+        profile = profile_of("""
+    li r1, 1
+    li r2, 1000
+loop:
+    add r3, r1, r1
+    add r4, r3, r3
+    add r5, r4, r4
+    addi r1, r1, 1
+    blt r1, r2, loop""")
+        fractions = profile.dep_fractions()
+        assert fractions[0] > 0.5  # mostly distance-1 chains
+
+    def test_long_distance_detected(self):
+        body = ["    li r1, 1", "    li r2, 500", "loop:",
+                "    add r3, r1, r0"]
+        body += ["    add r4, r4, r4"] * 40
+        body += ["    add r5, r3, r0",  # reads r3 written 41 earlier
+                 "    addi r1, r1, 1", "    blt r1, r2, loop"]
+        profile = profile_of("\n".join(body))
+        assert profile.global_dep_hist[NUM_DEP_BUCKETS - 1] > 400
+
+    def test_r0_reads_are_not_dependences(self):
+        profile = profile_of("""
+    li r1, 1
+    li r2, 300
+loop:
+    add r3, r0, r0
+    addi r1, r1, 1
+    blt r1, r2, loop""")
+        # Only r1 and the branch create dependences; r0 reads never do.
+        # add r3, r0, r0 contributes nothing.
+        hist = profile.global_dep_hist
+        assert sum(hist) < 3 * 300
+
+
+class TestStrides:
+    def test_pure_stream_stride(self):
+        profile = profile_of("""
+    la r4, buf
+    li r1, 0
+    li r2, 200
+loop:
+    lw r3, 0(r4)
+    addi r4, r4, 4
+    addi r1, r1, 1
+    blt r1, r2, loop""", data="buf: .space 1024")
+        loads = [m for m in profile.mem_ops.values() if not m.is_store]
+        assert len(loads) == 1
+        stats = loads[0]
+        assert stats.dominant_stride == 4
+        assert stats.coverage > 0.99
+        assert stats.count == 200
+        assert profile.stride_coverage > 0.99
+
+    def test_stride_zero_constant_address(self):
+        profile = profile_of("""
+    la r4, buf
+    li r1, 0
+    li r2, 100
+loop:
+    lw r3, 0(r4)
+    addi r1, r1, 1
+    blt r1, r2, loop""", data="buf: .word 7")
+        stats = [m for m in profile.mem_ops.values() if not m.is_store][0]
+        assert stats.dominant_stride == 0
+        assert stats.footprint_bytes == 4
+
+    def test_negative_stride(self):
+        profile = profile_of("""
+    la r4, buf
+    addi r4, r4, 396
+    li r1, 0
+    li r2, 100
+loop:
+    lw r3, 0(r4)
+    addi r4, r4, -4
+    addi r1, r1, 1
+    blt r1, r2, loop""", data="buf: .space 400")
+        stats = [m for m in profile.mem_ops.values() if not m.is_store][0]
+        assert stats.dominant_stride == -4
+
+    def test_stream_reset_mean_length(self):
+        # Walk 10 elements, reset, repeat: mean run length ~10.
+        profile = profile_of("""
+    li r1, 0
+    li r2, 50
+outer:
+    la r4, buf
+    li r5, 0
+    li r6, 10
+inner:
+    lw r3, 0(r4)
+    addi r4, r4, 4
+    addi r5, r5, 1
+    blt r5, r6, inner
+    addi r1, r1, 1
+    blt r1, r2, outer""", data="buf: .space 64")
+        stats = [m for m in profile.mem_ops.values() if not m.is_store][0]
+        assert 8.0 <= stats.mean_stream_length <= 10.0
+        assert stats.coverage < 1.0  # resets break perfect coverage
+
+    def test_alias_detection_rmw(self, loop_nest_profile):
+        stores = [m for m in loop_nest_profile.mem_ops.values()
+                  if m.is_store]
+        assert any(store.alias_of >= 0 for store in stores)
+        for store in stores:
+            if store.alias_of >= 0:
+                partner = loop_nest_profile.mem_ops[store.alias_of]
+                assert not partner.is_store
+                assert partner.dominant_stride == store.dominant_stride
+
+    def test_local_fraction_for_dense_walk(self):
+        profile = profile_of("""
+    la r4, buf
+    li r1, 0
+    li r2, 200
+loop:
+    lw r3, 0(r4)
+    addi r4, r4, 4
+    addi r1, r1, 1
+    blt r1, r2, loop""", data="buf: .space 1024")
+        stats = [m for m in profile.mem_ops.values() if not m.is_store][0]
+        assert stats.local_fraction > 0.99
+
+
+class TestBranchStats:
+    def test_loop_branch_rates(self):
+        profile = profile_of("""
+    li r1, 0
+    li r2, 100
+loop:
+    addi r1, r1, 1
+    blt r1, r2, loop""")
+        stats = list(profile.branches.values())[0]
+        assert stats.count == 100
+        assert stats.taken_rate == pytest.approx(0.99)
+        # One transition at loop exit over 99 boundaries.
+        assert stats.transition_rate == pytest.approx(1 / 99)
+
+    def test_alternating_branch(self):
+        profile = profile_of("""
+    li r1, 0
+    li r2, 200
+loop:
+    andi r3, r1, 1
+    beq r3, r0, skip
+skip:
+    addi r1, r1, 1
+    blt r1, r2, loop""")
+        parity = [stats for stats in profile.branches.values()
+                  if 0.4 < stats.taken_rate < 0.6][0]
+        assert parity.transition_rate > 0.99
+
+    def test_data_footprint(self, loop_nest_profile, loop_nest_trace):
+        assert loop_nest_profile.data_footprint_bytes \
+            == 4 * loop_nest_trace.data_footprint(4)
+
+
+class TestProfileTraceEquivalence:
+    def test_profile_trace_matches_profile_program(self, loop_nest_program,
+                                                   loop_nest_trace,
+                                                   loop_nest_profile):
+        direct = profile_trace(run_program(loop_nest_program))
+        assert direct.to_dict() == loop_nest_profile.to_dict()

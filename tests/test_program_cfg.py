@@ -1,0 +1,84 @@
+"""Unit tests for Program, basic-block discovery, and the disassembler."""
+
+from repro.isa import assemble, disassemble
+from repro.isa.assembler import TEXT_BASE
+from repro.isa.instructions import IClass
+
+
+def test_pc_address():
+    program = assemble("    .text\n    nop\n    halt\n")
+    assert program.pc_address(0) == TEXT_BASE
+    assert program.pc_address(3) == TEXT_BASE + 12
+
+
+def test_basic_blocks_simple_loop(sum_program):
+    blocks = sum_program.basic_blocks()
+    # init block, loop body, epilogue
+    assert len(blocks) == 3
+    starts = [block.start for block in blocks]
+    assert starts[0] == 0
+    assert sum_program.labels["loop"] in starts
+
+
+def test_blocks_are_contiguous_partition(loop_nest_program):
+    blocks = loop_nest_program.basic_blocks()
+    position = 0
+    for block in blocks:
+        assert block.start == position
+        assert block.end > block.start
+        position = block.end
+    assert position == len(loop_nest_program)
+
+
+def test_block_of_maps_every_instruction(loop_nest_program):
+    blocks = loop_nest_program.basic_blocks()
+    for block in blocks:
+        for index in range(block.start, block.end):
+            assert loop_nest_program.block_of(index) == block.bid
+
+
+def test_branch_targets_are_block_leaders(loop_nest_program):
+    starts = {block.start for block in loop_nest_program.basic_blocks()}
+    for instr in loop_nest_program.instructions:
+        if instr.target is not None:
+            assert instr.target in starts
+
+
+def test_instruction_after_branch_is_leader():
+    program = assemble("""
+    .text
+    beq r0, r0, end
+    add r1, r1, r1
+end:
+    halt
+""")
+    starts = {block.start for block in program.basic_blocks()}
+    assert 1 in starts
+
+
+def test_static_mix_counts(sum_program):
+    mix = sum_program.static_mix()
+    assert mix[IClass.LOAD] == 1
+    assert mix[IClass.STORE] == 1
+    assert mix[IClass.BRANCH] == 1
+    assert sum(mix) == len(sum_program)
+
+
+def test_blocks_cached_identity(sum_program):
+    assert sum_program.basic_blocks() is sum_program.basic_blocks()
+
+
+class TestDisassembler:
+    def test_round_trip_reassembles(self, loop_nest_program):
+        text = disassemble(loop_nest_program)
+        again = assemble(text, name="roundtrip")
+        assert len(again) == len(loop_nest_program)
+        for a, b in zip(again.instructions, loop_nest_program.instructions):
+            assert a.opcode == b.opcode
+            assert a.target == b.target
+            assert a.srcs == b.srcs
+
+    def test_labels_rendered(self, sum_program):
+        text = disassemble(sum_program)
+        assert "loop:" in text
+        assert "halt" in text

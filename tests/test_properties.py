@@ -1,0 +1,241 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants: LRU caches against a reference model, stride profiling on
+synthesized access patterns, predictor table bounds, metric identities,
+and branch-pattern rate realization."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.branch_model import BranchPattern, pattern_for
+from repro.core.profile import WorkloadProfile, dep_bucket
+from repro.core.profiler import _mean_run_length
+from repro.evaluation.metrics import pearson, rank_vector
+from repro.uarch.branch_predictors import TwoLevelGAp, make_predictor
+from repro.uarch.cache import Cache, CacheConfig
+
+
+# ----------------------------------------------------------------------
+# Cache vs a trivially-correct reference model
+# ----------------------------------------------------------------------
+class ReferenceLru:
+    """Obviously-correct LRU cache: list of blocks per set, O(n)."""
+
+    def __init__(self, config):
+        self.config = config
+        self.sets = [[] for _ in range(config.sets)]
+
+    def access(self, address):
+        block = address // self.config.line
+        bucket = self.sets[block % self.config.sets]
+        if block in bucket:
+            bucket.remove(block)
+            bucket.append(block)
+            return True
+        if len(bucket) >= self.config.ways:
+            bucket.pop(0)
+        bucket.append(block)
+        return False
+
+
+cache_geometries = st.sampled_from([
+    CacheConfig(256, 1, 32), CacheConfig(256, 2, 32),
+    CacheConfig(512, 4, 32), CacheConfig(512, "full", 32),
+    CacheConfig(1024, 2, 64), CacheConfig(2048, "full", 32),
+])
+
+
+@settings(max_examples=60, deadline=None)
+@given(config=cache_geometries,
+       addresses=st.lists(st.integers(0, 1 << 14), min_size=1, max_size=300))
+def test_cache_matches_reference_model(config, addresses):
+    cache = Cache(config)
+    reference = ReferenceLru(config)
+    for address in addresses:
+        assert cache.access(address) == reference.access(address)
+
+
+@settings(max_examples=30, deadline=None)
+@given(config=cache_geometries,
+       addresses=st.lists(st.integers(0, 1 << 14), min_size=1, max_size=300))
+def test_cache_occupancy_never_exceeds_capacity(config, addresses):
+    cache = Cache(config)
+    for address in addresses:
+        cache.access(address)
+        assert cache.resident_lines() <= config.lines
+
+
+@settings(max_examples=30, deadline=None)
+@given(addresses=st.lists(st.integers(0, 1 << 12), min_size=2, max_size=200))
+def test_inclusion_property_across_associativity(addresses):
+    """LRU caches with same sets count: higher associativity never turns
+    a hit into a miss (stack property per set)."""
+    small = Cache(CacheConfig(512, 2, 32))   # 8 sets, 2 ways
+    large = Cache(CacheConfig(1024, 4, 32))  # 8 sets, 4 ways
+    for address in addresses:
+        hit_small = small.access(address)
+        hit_large = large.access(address)
+        if hit_small:
+            assert hit_large
+
+
+# ----------------------------------------------------------------------
+# Stride profiling on synthesized patterns
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(stride=st.integers(-64, 64).filter(lambda s: s != 0),
+       count=st.integers(8, 200),
+       base=st.integers(0x1000, 0x8000))
+def test_profiler_recovers_pure_stride(stride, count, base):
+    from repro.core.profiler import WorkloadProfiler
+    from repro.isa import assemble
+    from repro.sim.trace import DynamicTrace
+
+    program = assemble(
+        "    .text\nx:\n    lw r1, 0(r4)\n    j x\n    halt\n")
+    pcs = np.zeros(count, dtype=np.int32)
+    addrs = np.array([base * 64 + stride * i + 65536 for i in range(count)],
+                     dtype=np.int64)
+    taken = np.full(count, -1, dtype=np.int8)
+    trace = DynamicTrace(program, pcs, addrs, taken)
+    profile = WorkloadProfiler().profile(trace)
+    stats = profile.mem_ops[0]
+    assert stats.dominant_stride == stride
+    assert stats.coverage == 1.0
+    assert profile.stride_coverage == 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(mask=st.lists(st.booleans(), min_size=0, max_size=64))
+def test_mean_run_length_bounds(mask):
+    value = _mean_run_length(np.array(mask, dtype=bool))
+    assert value >= 1.0
+    assert value <= max(1.0, len(mask))
+
+
+@settings(max_examples=50, deadline=None)
+@given(distance=st.integers(1, 10_000))
+def test_dep_bucket_total_and_monotone(distance):
+    bucket = dep_bucket(distance)
+    assert 0 <= bucket <= 7
+    assert dep_bucket(distance + 1) >= bucket
+
+
+# ----------------------------------------------------------------------
+# Metrics identities
+# ----------------------------------------------------------------------
+finite_floats = st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False)
+
+
+@settings(max_examples=60, deadline=None)
+@given(xs=st.lists(finite_floats, min_size=2, max_size=30))
+def test_pearson_self_correlation(xs):
+    result = pearson(xs, xs)
+    if len(set(xs)) > 1:
+        assert result == 1.0 or math.isclose(result, 1.0, abs_tol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(xs=st.lists(finite_floats, min_size=2, max_size=30),
+       ys=st.lists(finite_floats, min_size=2, max_size=30))
+def test_pearson_symmetric_and_bounded(xs, ys):
+    n = min(len(xs), len(ys))
+    xs, ys = xs[:n], ys[:n]
+    forward = pearson(xs, ys)
+    assert -1.0 - 1e-9 <= forward <= 1.0 + 1e-9
+    assert math.isclose(forward, pearson(ys, xs), abs_tol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=st.lists(finite_floats, min_size=1, max_size=30))
+def test_rank_vector_is_permutation_of_ranks(values):
+    ranks = rank_vector(values)
+    assert len(ranks) == len(values)
+    # Ranks sum to n(n+1)/2 even with ties (tie-averaging preserves it).
+    n = len(values)
+    assert math.isclose(sum(ranks), n * (n + 1) / 2, abs_tol=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Branch model: realized rates match requested rates
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(taken=st.floats(0.0, 1.0), transition=st.floats(0.0, 1.0))
+def test_pattern_for_always_realizable(taken, transition):
+    pattern = pattern_for(taken, transition)
+    assert pattern.kind in ("taken", "not_taken", "modulo", "random")
+    if pattern.kind == "modulo":
+        assert pattern.period & (pattern.period - 1) == 0
+        assert 1 <= pattern.threshold <= pattern.period - 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(period_log=st.integers(1, 8),
+       threshold_fraction=st.floats(0.1, 0.9))
+def test_modulo_pattern_rates_realized(period_log, threshold_fraction):
+    period = 1 << period_log
+    threshold = max(1, min(period - 1, round(period * threshold_fraction)))
+    pattern = BranchPattern(kind="modulo", period=period,
+                            threshold=threshold)
+    directions = [pattern.direction(i) for i in range(period * 50)]
+    taken_rate = sum(directions) / len(directions)
+    assert math.isclose(taken_rate, threshold / period, abs_tol=0.02)
+    transitions = sum(1 for a, b in zip(directions, directions[1:])
+                      if a != b)
+    assert math.isclose(transitions / (len(directions) - 1),
+                        pattern.expected_transition_rate(), abs_tol=0.02)
+
+
+# ----------------------------------------------------------------------
+# Predictor state stays in bounds under arbitrary update streams
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(updates=st.lists(
+    st.tuples(st.integers(0, 1 << 16), st.booleans()),
+    min_size=1, max_size=300),
+    kind=st.sampled_from(["bimodal", "gap", "gshare"]))
+def test_predictor_counters_bounded(updates, kind):
+    predictor = make_predictor(kind)
+    for pc, taken in updates:
+        predictor.predict(pc)
+        predictor.update(pc, taken)
+    assert all(0 <= counter <= 3 for counter in predictor.counters)
+    if isinstance(predictor, TwoLevelGAp):
+        assert 0 <= predictor.history < (1 << predictor.history_bits)
+    assert predictor.stats.mispredictions <= predictor.stats.lookups
+
+
+# ----------------------------------------------------------------------
+# Profile serialization is total over generated profiles
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2 ** 31))
+def test_profile_json_round_trip_random_programs(seed):
+    import random
+
+    from repro.core import profile_program
+    from repro.isa import assemble
+
+    rng = random.Random(seed)
+    n = rng.randint(3, 12)
+    lines = ["    .data", "buf: .space 256", "    .text",
+             "    la r4, buf", "    li r1, 0",
+             f"    li r2, {rng.randint(4, 40)}", "top:"]
+    for _ in range(n):
+        choice = rng.randint(0, 3)
+        if choice == 0:
+            lines.append(f"    addi r{rng.randint(5, 9)}, r1, "
+                         f"{rng.randint(-4, 4)}")
+        elif choice == 1:
+            lines.append(f"    lw r{rng.randint(5, 9)}, "
+                         f"{4 * rng.randint(0, 30)}(r4)")
+        elif choice == 2:
+            lines.append(f"    sw r1, {4 * rng.randint(0, 30)}(r4)")
+        else:
+            lines.append(f"    mul r{rng.randint(5, 9)}, r1, r1")
+    lines += ["    addi r1, r1, 1", "    blt r1, r2, top", "    halt"]
+    profile = profile_program(assemble("\n".join(lines)))
+    restored = WorkloadProfile.from_json(profile.to_json())
+    assert restored.to_dict() == profile.to_dict()

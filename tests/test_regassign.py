@@ -1,0 +1,82 @@
+"""Tests for round-robin register assignment (paper step 10)."""
+
+import pytest
+
+from repro.core.regassign import CloneRegisterFile, RoundRobinFile
+
+
+class TestRoundRobinFile:
+    def test_dest_cycles_through_pool(self):
+        rrf = RoundRobinFile(pool=[10, 11, 12], anchors=[2])
+        dests = [rrf.allocate_dest(i) for i in range(7)]
+        assert dests == [10, 11, 12, 10, 11, 12, 10]
+
+    def test_source_realizes_exact_distance(self):
+        rrf = RoundRobinFile(pool=[10, 11, 12, 13], anchors=[2])
+        for position in range(4):
+            rrf.allocate_dest(position)
+        # Consumer at position 4 wanting distance 2 -> producer at 2.
+        assert rrf.source_for(4, 2) == 12
+
+    def test_source_prefers_latest_at_or_before(self):
+        rrf = RoundRobinFile(pool=[10, 11], anchors=[2])
+        rrf.allocate_dest(0)
+        rrf.allocate_dest(5)
+        # Desired position 3: latest producer at/below is position 0.
+        assert rrf.source_for(6, 3) == 10
+
+    def test_overwritten_producer_falls_to_anchor(self):
+        rrf = RoundRobinFile(pool=[10, 11], anchors=[2, 3])
+        for position in range(6):
+            rrf.allocate_dest(position)
+        # Distance 5 -> producer at position 1, overwritten at position 3.
+        assert rrf.source_for(6, 5) in (2, 3)
+
+    def test_no_producer_yet_falls_to_anchor(self):
+        rrf = RoundRobinFile(pool=[10], anchors=[5])
+        assert rrf.source_for(0, 3) == 5
+
+    def test_anchors_rotate(self):
+        rrf = RoundRobinFile(pool=[10], anchors=[5, 6])
+        assert rrf.source_for(0, 1) == 5
+        assert rrf.source_for(0, 1) == 6
+        assert rrf.source_for(0, 1) == 5
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinFile(pool=[], anchors=[1])
+
+
+class TestCloneRegisterFile:
+    def test_layout_disjoint(self):
+        regs = CloneRegisterFile()
+        pointers = {regs.pointer(i) for i in range(8)}
+        countdowns = {regs.countdown(i) for i in range(8)}
+        pool = set(regs.int_file.pool)
+        special = {0, regs.COUNTER, regs.LIMIT, regs.SCRATCH, regs.RNG}
+        groups = [pointers, countdowns, pool, special]
+        for i, a in enumerate(groups):
+            for b in groups[i + 1:]:
+                assert not (a & b), f"overlap between {a} and {b}"
+
+    def test_all_int_registers_below_32(self):
+        regs = CloneRegisterFile()
+        assert all(r < 32 for r in regs.int_file.pool)
+        assert all(r < 32 for r in regs.int_file.anchors)
+
+    def test_fp_pool_is_fp(self):
+        regs = CloneRegisterFile()
+        assert all(r >= 32 for r in regs.fp_file.pool)
+        assert all(r >= 32 for r in regs.fp_file.anchors)
+
+    def test_cluster_limit(self):
+        regs = CloneRegisterFile()
+        with pytest.raises(ValueError):
+            regs.pointer(8)
+        with pytest.raises(ValueError):
+            regs.countdown(9)
+
+    def test_names(self):
+        regs = CloneRegisterFile()
+        assert regs.pointer_name(0) == "r4"
+        assert regs.countdown_name(0) == "r12"

@@ -1,0 +1,79 @@
+"""Unit tests for the flat register index space."""
+
+import pytest
+
+from repro.isa.registers import (
+    FP_REG_BASE,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    NUM_REGS,
+    ZERO_REG,
+    fp_reg,
+    int_reg,
+    is_fp_reg,
+    parse_reg,
+    reg_name,
+)
+
+
+class TestIndexing:
+    def test_int_reg_identity(self):
+        assert int_reg(0) == 0
+        assert int_reg(31) == 31
+
+    def test_fp_reg_offset(self):
+        assert fp_reg(0) == FP_REG_BASE
+        assert fp_reg(31) == FP_REG_BASE + 31
+
+    def test_zero_reg_is_int_zero(self):
+        assert ZERO_REG == int_reg(0)
+
+    def test_counts_consistent(self):
+        assert NUM_REGS == NUM_INT_REGS + NUM_FP_REGS
+
+    def test_int_reg_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_reg(32)
+        with pytest.raises(ValueError):
+            int_reg(-1)
+
+    def test_fp_reg_out_of_range(self):
+        with pytest.raises(ValueError):
+            fp_reg(32)
+
+
+class TestClassification:
+    def test_is_fp_reg(self):
+        assert not is_fp_reg(0)
+        assert not is_fp_reg(31)
+        assert is_fp_reg(32)
+        assert is_fp_reg(63)
+
+
+class TestNames:
+    def test_reg_name_int(self):
+        assert reg_name(0) == "r0"
+        assert reg_name(17) == "r17"
+
+    def test_reg_name_fp(self):
+        assert reg_name(FP_REG_BASE) == "f0"
+        assert reg_name(FP_REG_BASE + 5) == "f5"
+
+    def test_reg_name_out_of_range(self):
+        with pytest.raises(ValueError):
+            reg_name(64)
+        with pytest.raises(ValueError):
+            reg_name(-1)
+
+    def test_parse_round_trip(self):
+        for index in range(NUM_REGS):
+            assert parse_reg(reg_name(index)) == index
+
+    def test_parse_whitespace_and_case(self):
+        assert parse_reg(" R7 ") == 7
+        assert parse_reg("F3") == FP_REG_BASE + 3
+
+    @pytest.mark.parametrize("bad", ["x5", "r", "f", "r32", "f99", "7", ""])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_reg(bad)

@@ -1,0 +1,108 @@
+"""Tests for the statistical flow graph and its walk (paper Sec. 3.1.1)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.sfg import StatisticalFlowGraph
+
+
+class TestConstruction:
+    def test_occurrences_scaled(self, loop_nest_profile):
+        sfg = StatisticalFlowGraph(loop_nest_profile, target_instances=100)
+        assert sum(sfg.occurrences.values()) == pytest.approx(100, abs=15)
+
+    def test_occurrence_proportions(self, loop_nest_profile):
+        sfg = StatisticalFlowGraph(loop_nest_profile, target_instances=300)
+        hottest = max(loop_nest_profile.blocks.values(),
+                      key=lambda stats: stats.visits)
+        assert sfg.occurrences[hottest.bid] \
+            == max(sfg.occurrences.values())
+
+    def test_every_visited_block_has_budget(self, loop_nest_profile):
+        sfg = StatisticalFlowGraph(loop_nest_profile, target_instances=50)
+        for bid, stats in loop_nest_profile.blocks.items():
+            if stats.visits:
+                assert sfg.occurrences[bid] >= 1
+
+    def test_transition_probabilities(self, loop_nest_profile):
+        sfg = StatisticalFlowGraph(loop_nest_profile)
+        for pred, pairs in sfg.successors.items():
+            total = sum(sfg.transition_probability(pred, succ)
+                        for succ, _ in pairs)
+            assert total == pytest.approx(1.0)
+
+    def test_unknown_edge_probability_zero(self, loop_nest_profile):
+        sfg = StatisticalFlowGraph(loop_nest_profile)
+        assert sfg.transition_probability(0, 9999) == 0.0
+
+
+class TestSampling:
+    def test_sample_start_respects_budget(self, loop_nest_profile):
+        sfg = StatisticalFlowGraph(loop_nest_profile, target_instances=20)
+        rng = random.Random(1)
+        for _ in range(200):
+            bid = sfg.sample_start(rng)
+            assert bid in loop_nest_profile.blocks
+
+    def test_instantiate_decrements(self, loop_nest_profile):
+        sfg = StatisticalFlowGraph(loop_nest_profile, target_instances=20)
+        bid = next(iter(sfg.occurrences))
+        before = sfg.occurrences[bid]
+        sfg.instantiate(bid)
+        assert sfg.occurrences[bid] == before - 1
+
+    def test_instantiate_floors_at_zero(self, loop_nest_profile):
+        sfg = StatisticalFlowGraph(loop_nest_profile, target_instances=20)
+        bid = next(iter(sfg.occurrences))
+        for _ in range(1000):
+            sfg.instantiate(bid)
+        assert sfg.occurrences[bid] == 0
+
+    def test_exhausted(self, loop_nest_profile):
+        sfg = StatisticalFlowGraph(loop_nest_profile, target_instances=10)
+        assert not sfg.exhausted()
+        for bid in list(sfg.occurrences):
+            for _ in range(sfg.occurrences[bid]):
+                sfg.instantiate(bid)
+        assert sfg.exhausted()
+
+
+class TestWalk:
+    def test_walk_length(self, loop_nest_profile):
+        sfg = StatisticalFlowGraph(loop_nest_profile, target_instances=150)
+        sequence = sfg.walk(150, random.Random(7))
+        assert len(sequence) == 150
+
+    def test_walk_deterministic_per_seed(self, loop_nest_profile):
+        a = StatisticalFlowGraph(loop_nest_profile, 100).walk(
+            100, random.Random(3))
+        b = StatisticalFlowGraph(loop_nest_profile, 100).walk(
+            100, random.Random(3))
+        assert a == b
+
+    def test_walk_follows_real_edges_or_restarts(self, loop_nest_profile):
+        sfg = StatisticalFlowGraph(loop_nest_profile, 200)
+        sequence = sfg.walk(200, random.Random(5))
+        real_edges = set(loop_nest_profile.transitions)
+        follows = sum(1 for a, b in zip(sequence, sequence[1:])
+                      if (a, b) in real_edges)
+        # The vast majority of steps follow profiled edges.
+        assert follows / (len(sequence) - 1) > 0.8
+
+    def test_walk_coverage_proportional(self, loop_nest_profile):
+        """The restart rule must keep every program region represented
+        (the basicmath starvation bug)."""
+        target = 300
+        sfg = StatisticalFlowGraph(loop_nest_profile, target)
+        sequence = sfg.walk(target, random.Random(11))
+        counts = Counter(sequence)
+        total_visits = sum(stats.visits
+                           for stats in loop_nest_profile.blocks.values())
+        for bid, stats in loop_nest_profile.blocks.items():
+            expected = target * stats.visits / total_visits
+            if expected >= 3:
+                assert counts[bid] >= expected * 0.3, (
+                    f"block {bid} under-sampled: {counts[bid]} vs "
+                    f"{expected:.1f}")

@@ -1,0 +1,145 @@
+"""Tests for clone generation (paper Sec. 3.2) and the end-to-end claim:
+the clone's own microarchitecture-independent profile resembles the
+original's."""
+
+import pytest
+
+from repro.core import make_clone, profile_trace
+from repro.core.synthesizer import (
+    SynthesisParameters,
+    _interleave,
+    estimate_instruction_lines,
+)
+from repro.isa.instructions import IClass
+from repro.sim import run_program
+
+
+class TestInterleave:
+    def test_counts_preserved(self):
+        sequence = _interleave({"a": 3, "b": 2, "c": 1})
+        assert sorted(sequence) == ["a", "a", "a", "b", "b", "c"]
+
+    def test_spreading(self):
+        sequence = _interleave({"a": 4, "b": 4})
+        # No long monocultures: a and b alternate.
+        runs = max(len(list(group)) for _, group in
+                   __import__("itertools").groupby(sequence))
+        assert runs <= 2
+
+    def test_empty(self):
+        assert _interleave({}) == []
+
+
+class TestLineEstimate:
+    def test_counts_real_ops(self):
+        assert estimate_instruction_lines(
+            ["    add r1, r2, r3", "label:", "    # nothing", ""]) == 1
+
+    def test_la_counts_two(self):
+        assert estimate_instruction_lines(["    la r4, sym"]) == 2
+
+    def test_li_expansion_aware(self):
+        assert estimate_instruction_lines(["    li r4, 12"]) == 1
+        assert estimate_instruction_lines(["    li r4, 1000000"]) == 2
+
+
+class TestGeneratedStructure:
+    def test_clone_assembles_and_halts(self, loop_nest_clone):
+        trace = run_program(loop_nest_clone.program,
+                            max_instructions=2_000_000)
+        assert len(trace) > 0
+
+    def test_dynamic_length_near_target(self, loop_nest_clone,
+                                        loop_nest_clone_trace):
+        target = loop_nest_clone.parameters.dynamic_instructions
+        assert 0.5 * target <= len(loop_nest_clone_trace) <= 2.0 * target
+
+    def test_stats_recorded(self, loop_nest_clone):
+        stats = loop_nest_clone.stats
+        assert stats["block_instances"] > 0
+        assert stats["iterations"] >= 2
+        assert stats["clusters"]
+
+    def test_source_is_reassemblable(self, loop_nest_clone):
+        from repro.isa import assemble
+        again = assemble(loop_nest_clone.asm_source, name="again")
+        assert len(again) == len(loop_nest_clone.program)
+
+    def test_deterministic_for_seed(self, loop_nest_profile):
+        params = SynthesisParameters(dynamic_instructions=20_000, seed=9)
+        a = make_clone(loop_nest_profile, params)
+        b = make_clone(loop_nest_profile, params)
+        assert a.asm_source == b.asm_source
+
+    def test_different_seeds_differ(self, loop_nest_profile):
+        a = make_clone(loop_nest_profile,
+                       SynthesisParameters(dynamic_instructions=20_000,
+                                           seed=1))
+        b = make_clone(loop_nest_profile,
+                       SynthesisParameters(dynamic_instructions=20_000,
+                                           seed=2))
+        assert a.asm_source != b.asm_source
+
+    def test_target_block_instances_respected(self, loop_nest_profile):
+        params = SynthesisParameters(dynamic_instructions=20_000,
+                                     target_block_instances=64)
+        result = make_clone(loop_nest_profile, params)
+        assert result.stats["block_instances"] == 64
+
+    def test_code_is_different_from_original(self, loop_nest_clone,
+                                             loop_nest_program):
+        """The whole point: the clone hides the original code."""
+        original = [i.render() for i in loop_nest_program.instructions]
+        clone = [i.render() for i in loop_nest_clone.program.instructions]
+        assert original != clone
+
+    def test_too_many_clusters_rejected(self, loop_nest_profile):
+        from repro.core import CloneSynthesizer
+        with pytest.raises(ValueError):
+            CloneSynthesizer(loop_nest_profile,
+                             SynthesisParameters(max_pointer_clusters=9))
+
+
+class TestCloneFidelity:
+    """Profile the clone and compare to the original profile."""
+
+    @pytest.fixture(scope="class")
+    def clone_profile(self, loop_nest_clone_trace):
+        return profile_trace(loop_nest_clone_trace)
+
+    def test_instruction_mix_close(self, loop_nest_profile, clone_profile):
+        original = loop_nest_profile.mix_fractions()
+        clone = clone_profile.mix_fractions()
+        for iclass in (IClass.IALU, IClass.LOAD, IClass.STORE,
+                       IClass.BRANCH):
+            assert clone[iclass] == pytest.approx(original[iclass],
+                                                  abs=0.08), \
+                f"class {iclass} mix mismatch"
+
+    def test_stride_behaviour_preserved(self, loop_nest_profile,
+                                        clone_profile):
+        # The fixture program has a tiny (256B) footprint, which forces
+        # short reset periods; real workloads sit well above this (see
+        # test_workloads.py for corpus-level coverage checks).
+        assert clone_profile.stride_coverage > 0.7
+
+    def test_footprint_same_order(self, loop_nest_profile, clone_profile):
+        ratio = (clone_profile.data_footprint_bytes
+                 / loop_nest_profile.data_footprint_bytes)
+        assert 0.2 <= ratio <= 5.0
+
+    def test_branch_taken_rate_close(self, loop_nest_profile,
+                                     clone_profile):
+        def weighted_taken(profile):
+            total = sum(b.count for b in profile.branches.values())
+            return sum(b.taken_rate * b.count
+                       for b in profile.branches.values()) / total
+        assert weighted_taken(clone_profile) == pytest.approx(
+            weighted_taken(loop_nest_profile), abs=0.15)
+
+    def test_dependency_profile_short_distances(self, loop_nest_profile,
+                                                clone_profile):
+        # Both should be dominated by short dependences.
+        original = loop_nest_profile.dep_fractions()
+        clone = clone_profile.dep_fractions()
+        assert sum(clone[:4]) == pytest.approx(sum(original[:4]), abs=0.35)
