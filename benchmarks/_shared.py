@@ -3,25 +3,51 @@
 Every bench regenerates one table or figure from the paper: it runs the
 experiment once inside ``benchmark.pedantic`` (so pytest-benchmark also
 reports the experiment's runtime), prints the rows the paper reports,
-and persists them under ``benchmarks/results/`` for EXPERIMENTS.md.
+and persists them under ``benchmarks/results/`` for EXPERIMENTS.md —
+both as plain text and as a schema-versioned JSON whose ``meta`` block
+records full provenance (git rev, python, platform, timestamp), so a
+result file is always traceable to the code that produced it.
 """
 
+import json
 import os
 
+from repro.obs.runinfo import provenance
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Schema version of the emitted ``results/*.json`` files.  Bump when
+#: the envelope (not the per-bench ``data``) changes shape.
+RESULTS_SCHEMA_VERSION = 1
 
 #: Instruction cap for pipeline-model runs inside benches: long enough
 #: for stable IPC, short enough that the full suite stays in minutes.
 PIPELINE_CAP = 100_000
 
 
-def emit(name, text):
-    """Print a result block and persist it for the experiment log."""
+def emit(name, text, data=None):
+    """Print a result block and persist it for the experiment log.
+
+    Writes ``results/<name>.txt`` (the human rows, as before) and
+    ``results/<name>.json`` — an envelope of ``schema_version``, a
+    ``meta`` provenance block, the rendered ``text``, and the bench's
+    optional structured ``data`` (rows, labels, ...).
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     banner = f"\n===== {name} =====\n{text}\n"
     print(banner)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
         handle.write(text + "\n")
+    envelope = {
+        "schema_version": RESULTS_SCHEMA_VERSION,
+        "name": name,
+        "meta": provenance(),
+        "text": text,
+        "data": data,
+    }
+    with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w") as handle:
+        json.dump(envelope, handle, indent=2, default=str)
+        handle.write("\n")
 
 
 def run_once(benchmark, func):

@@ -8,12 +8,24 @@ Commands mirror the vendor/architect workflow:
   writing the ``.s`` and C-with-asm artifacts;
 * ``compare``   — real vs clone IPC/power/miss rates on the base machine;
 * ``sweep``     — the 28-configuration cache study for one workload;
-* ``estimate``  — statistical-simulation IPC estimate from a profile.
+* ``estimate``  — statistical-simulation IPC estimate from a profile;
+* ``report``    — render the manifest/metrics of a prior run directory.
+
+Global flags (valid before or after the subcommand): ``--verbose`` /
+``--quiet`` control the structured log level (also settable via the
+``REPRO_LOG_LEVEL`` environment variable; ``--quiet`` additionally
+disables telemetry entirely), ``--json`` switches the command's output
+to a single JSON object including the run manifest, and ``--run-dir``
+persists that manifest to disk for later ``repro report``.
+
+Exit codes: 0 success, 1 runtime failure, 2 bad target, 3 load failure.
 """
 
 import argparse
+import json
 import os
 import sys
+import time
 
 from repro.core import (
     SynthesisParameters,
@@ -23,54 +35,126 @@ from repro.core import (
     profile_trace,
 )
 from repro.evaluation import format_table, pearson, rank_vector
-from repro.isa import assemble
-from repro.sim import run_program
+from repro.isa import AssemblerError, assemble
+from repro.obs import (
+    DEBUG,
+    WARNING,
+    RunManifest,
+    configure_logging,
+    get_logger,
+    reset_telemetry,
+    set_telemetry_enabled,
+)
+from repro.sim import SimulationError, run_program
 from repro.uarch import BASE_CONFIG, CACHE_SWEEP, estimate_power, simulate_cache, simulate_pipeline
 from repro.workloads import all_workloads, build_workload, workload_names
 
+_LOG = get_logger("repro.cli")
 
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_BAD_TARGET = 2
+EXIT_LOAD_FAILED = 3
+
+
+class CliError(Exception):
+    """A user-facing failure with a distinct process exit code."""
+
+    def __init__(self, code, message):
+        super().__init__(message)
+        self.code = code
+
+
+class RunContext:
+    """Collects one command's output: human text, JSON payload, headline.
+
+    Handlers append renderable text via :meth:`emit`; in ``--json`` mode
+    the collected ``payload`` (plus the run manifest) is printed instead.
+    ``headline`` feeds the manifest's summary block.
+    """
+
+    def __init__(self, args):
+        self.args = args
+        self.json_mode = bool(getattr(args, "json", False))
+        self.payload = {}
+        self.headline = {}
+        self.lines = []
+        self.config = None  # machine config hashed into the manifest
+
+    def emit(self, text):
+        self.lines.append(text)
+
+    def table(self, headers, rows, float_format="{:.4f}", key=None):
+        self.emit(format_table(headers, rows, float_format=float_format))
+        if key is not None:
+            self.payload[key] = [dict(zip(headers, row)) for row in rows]
+
+
+# ----------------------------------------------------------------------
 def _load_program(target):
     """A workload name, or a path to an SRISC assembly file."""
     if target in workload_names():
         return build_workload(target)
     if os.path.exists(target):
-        with open(target) as handle:
-            return assemble(handle.read(),
-                            name=os.path.basename(target))
-    raise SystemExit(f"error: {target!r} is neither a workload name nor "
-                     "an assembly file (see `repro list`)")
+        try:
+            with open(target) as handle:
+                return assemble(handle.read(),
+                                name=os.path.basename(target))
+        except AssemblerError as exc:
+            raise CliError(EXIT_LOAD_FAILED,
+                           f"failed to assemble {target}: {exc}")
+    raise CliError(EXIT_BAD_TARGET,
+                   f"{target!r} is neither a workload name nor "
+                   "an assembly file (see `repro list`)")
 
 
 def _load_profile(target):
     """A workload name, or a path to a saved profile JSON."""
     if target.endswith(".json") and os.path.exists(target):
-        return WorkloadProfile.load(target)
+        try:
+            return WorkloadProfile.load(target)
+        except (ValueError, KeyError, TypeError, OSError) as exc:
+            raise CliError(EXIT_LOAD_FAILED,
+                           f"failed to load profile {target}: {exc}")
     program = _load_program(target)
     return profile_trace(run_program(program))
 
 
-def cmd_list(args):
+# ----------------------------------------------------------------------
+def cmd_list(args, ctx):
     rows = [[spec.name, spec.domain, spec.suite, spec.description]
             for spec in all_workloads()]
-    print(format_table(["workload", "domain", "suite", "description"],
-                       rows))
-    return 0
+    ctx.table(["workload", "domain", "suite", "description"], rows,
+              key="workloads")
+    return EXIT_OK
 
 
-def cmd_profile(args):
+def cmd_profile(args, ctx):
     profile = _load_profile(args.target)
     output = args.output or f"{profile.name}.profile.json"
     profile.save(output)
-    print(f"wrote {output}")
-    print(f"  instructions: {profile.total_instructions}")
-    print(f"  memory ops:   {profile.total_memory_ops}")
-    print(f"  branches:     {profile.total_branches}")
-    print(f"  footprint:    {profile.data_footprint_bytes} bytes")
-    print(f"  stride cov.:  {profile.stride_coverage:.3f}")
-    return 0
+    _LOG.info("cli.wrote", path=output)
+    summary = {
+        "instructions": profile.total_instructions,
+        "memory_ops": profile.total_memory_ops,
+        "branches": profile.total_branches,
+        "footprint_bytes": profile.data_footprint_bytes,
+        "stride_coverage": profile.stride_coverage,
+    }
+    ctx.payload.update(output=output, profile=summary)
+    ctx.headline.update(summary)
+    ctx.emit("\n".join([
+        f"wrote {output}",
+        f"  instructions: {profile.total_instructions}",
+        f"  memory ops:   {profile.total_memory_ops}",
+        f"  branches:     {profile.total_branches}",
+        f"  footprint:    {profile.data_footprint_bytes} bytes",
+        f"  stride cov.:  {profile.stride_coverage:.3f}",
+    ]))
+    return EXIT_OK
 
 
-def cmd_clone(args):
+def cmd_clone(args, ctx):
     profile = _load_profile(args.target)
     parameters = SynthesisParameters(
         dynamic_instructions=args.instructions, seed=args.seed,
@@ -84,16 +168,24 @@ def cmd_clone(args):
         handle.write(result.asm_source)
     with open(c_path, "w") as handle:
         handle.write(emit_c_source(result.program))
-    print(f"wrote {asm_path} and {c_path}")
+    _LOG.info("cli.wrote", asm=asm_path, c=c_path)
     stats = result.stats
-    print(f"  block instances: {stats['block_instances']}")
-    print(f"  loop iterations: {stats['iterations']}")
-    print(f"  footprint:       {stats['footprint_bytes']} bytes "
-          f"(target {stats['footprint_target']})")
-    return 0
+    ctx.payload.update(artifacts=[asm_path, c_path], stats=stats)
+    ctx.headline.update(
+        block_instances=stats["block_instances"],
+        iterations=stats["iterations"],
+        footprint_bytes=stats["footprint_bytes"])
+    ctx.emit("\n".join([
+        f"wrote {asm_path} and {c_path}",
+        f"  block instances: {stats['block_instances']}",
+        f"  loop iterations: {stats['iterations']}",
+        f"  footprint:       {stats['footprint_bytes']} bytes "
+        f"(target {stats['footprint_target']})",
+    ]))
+    return EXIT_OK
 
 
-def cmd_compare(args):
+def cmd_compare(args, ctx):
     program = _load_program(args.target)
     real_trace = run_program(program)
     profile = profile_trace(real_trace)
@@ -102,6 +194,7 @@ def cmd_compare(args):
     clone_trace = run_program(result.program)
     real = simulate_pipeline(real_trace, BASE_CONFIG)
     clone = simulate_pipeline(clone_trace, BASE_CONFIG)
+    ctx.config = BASE_CONFIG
     rows = [
         ["IPC", real.ipc, clone.ipc],
         ["power", estimate_power(real), estimate_power(clone)],
@@ -109,12 +202,18 @@ def cmd_compare(args):
         ["bpred miss rate", real.branch_misprediction_rate,
          clone.branch_misprediction_rate],
     ]
-    print(format_table(["metric", "real", "clone"], rows,
-                       float_format="{:.4f}"))
-    return 0
+    ctx.table(["metric", "real", "clone"], rows, key="rows")
+    ctx.headline.update(
+        ipc_real=real.ipc, ipc_clone=clone.ipc,
+        dcache_miss_rate_real=real.dcache_miss_rate,
+        dcache_miss_rate_clone=clone.dcache_miss_rate,
+        sim_mips_real=real.simulated_mips,
+        sim_mips_clone=clone.simulated_mips,
+        rob_stalls_real=real.rob_stalls, rob_stalls_clone=clone.rob_stalls)
+    return EXIT_OK
 
 
-def cmd_sweep(args):
+def cmd_sweep(args, ctx):
     program = _load_program(args.target)
     real_trace = run_program(program)
     profile = profile_trace(real_trace)
@@ -123,6 +222,7 @@ def cmd_sweep(args):
     clone_trace = run_program(result.program)
     real_addresses = real_trace.memory_addresses()
     clone_addresses = clone_trace.memory_addresses()
+    ctx.config = BASE_CONFIG
     real_mpi, clone_mpi, rows = [], [], []
     for config in CACHE_SWEEP:
         real_value = simulate_cache(real_addresses, config).misses \
@@ -132,32 +232,112 @@ def cmd_sweep(args):
         real_mpi.append(real_value)
         clone_mpi.append(clone_value)
         rows.append([config.label(), real_value, clone_value])
-    print(format_table(["config", "real MPI", "clone MPI"], rows,
-                       float_format="{:.5f}"))
+    ctx.table(["config", "real MPI", "clone MPI"], rows,
+              float_format="{:.5f}", key="rows")
     correlation = pearson([v - real_mpi[0] for v in real_mpi[1:]],
                           [v - clone_mpi[0] for v in clone_mpi[1:]])
     ranks = pearson(rank_vector(real_mpi), rank_vector(clone_mpi))
-    print(f"\npearson R (relative MPI): {correlation:+.3f}")
-    print(f"ranking correlation:      {ranks:+.3f}")
-    return 0
+    ctx.headline.update(pearson_relative_mpi=correlation,
+                        ranking_correlation=ranks)
+    ctx.emit(f"\npearson R (relative MPI): {correlation:+.3f}\n"
+             f"ranking correlation:      {ranks:+.3f}")
+    return EXIT_OK
 
 
-def cmd_estimate(args):
+def cmd_estimate(args, ctx):
     from repro.statsim import statistical_ipc_estimate
     profile = _load_profile(args.target)
     ipc = statistical_ipc_estimate(profile, BASE_CONFIG,
                                    n_instructions=args.instructions)
-    print(f"statistical IPC estimate (base config): {ipc:.3f}")
-    return 0
+    ctx.config = BASE_CONFIG
+    ctx.payload["ipc_estimate"] = ipc
+    ctx.headline["ipc_estimate"] = ipc
+    ctx.emit(f"statistical IPC estimate (base config): {ipc:.3f}")
+    return EXIT_OK
+
+
+def cmd_report(args, ctx):
+    """Render the manifest of a prior run directory (or manifest file)."""
+    target = args.target
+    if not os.path.exists(target):
+        raise CliError(EXIT_BAD_TARGET,
+                       f"no run directory or manifest at {target!r}")
+    try:
+        manifest = RunManifest.load(target)
+    except (ValueError, OSError) as exc:
+        raise CliError(EXIT_LOAD_FAILED, f"cannot read manifest: {exc}")
+    data = manifest.to_dict()
+    ctx.payload = data
+    prov = data.get("provenance") or {}
+    ctx.emit("\n".join(filter(None, [
+        f"run: {data['command']}"
+        + (f" {data['target']}" if data.get("target") else ""),
+        f"  schema:      v{data['schema_version']}",
+        f"  seed:        {data['seed']}" if data.get("seed") is not None
+        else None,
+        f"  config hash: {data['config_hash']}" if data.get("config_hash")
+        else None,
+        f"  git rev:     {prov.get('git_rev')}" if prov.get("git_rev")
+        else None,
+        f"  python:      {prov.get('python')}",
+        f"  created:     {prov.get('created_at')}",
+        f"  wall time:   {data['wall_seconds']:.3f} s",
+    ])))
+    if data.get("headline"):
+        rows = [[key, value] for key, value in
+                sorted(data["headline"].items())]
+        ctx.emit("\nheadline:\n" + format_table(
+            ["stat", "value"], rows, float_format="{:.4f}"))
+    if data.get("phases"):
+        rows = [[path, entry["count"], entry["wall_s"] * 1e3,
+                 entry["cpu_s"] * 1e3]
+                for path, entry in sorted(data["phases"].items())]
+        ctx.emit("\nphases:\n" + format_table(
+            ["phase", "count", "wall ms", "cpu ms"], rows,
+            float_format="{:.2f}"))
+    if data.get("metrics"):
+        rows = []
+        for name, entry in sorted(data["metrics"].items()):
+            if entry.get("type") == "histogram":
+                value = (f"n={entry['count']} mean={entry['mean']:.2f} "
+                         f"max={entry['max']}")
+            else:
+                value = entry.get("value")
+            rows.append([name, entry.get("type"), value])
+        ctx.emit("\nmetrics:\n" + format_table(
+            ["metric", "type", "value"], rows))
+    return EXIT_OK
+
+
+# ----------------------------------------------------------------------
+def _add_global_flags(parser, suppress):
+    default = argparse.SUPPRESS if suppress else False
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        default=default,
+                        help="debug-level structured logs")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        default=default,
+                        help="warnings only; disables telemetry entirely")
+    parser.add_argument("--json", action="store_true", default=default,
+                        help="emit one JSON object (incl. run manifest)")
+    parser.add_argument("--run-dir",
+                        default=argparse.SUPPRESS if suppress else None,
+                        help="write manifest.json into this directory")
 
 
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Performance cloning (IISWC 2006 reproduction)")
+    _add_global_flags(parser, suppress=False)
+    # The same flags are accepted after the subcommand; SUPPRESS keeps an
+    # omitted sub-flag from clobbering the top-level value.
+    parent = argparse.ArgumentParser(add_help=False)
+    _add_global_flags(parent, suppress=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="show the workload corpus")
+    sub.add_parser("list", parents=[parent],
+                   help="show the workload corpus")
 
     def common(p, with_output_dir=False):
         p.add_argument("target",
@@ -168,31 +348,89 @@ def build_parser():
         if with_output_dir:
             p.add_argument("-o", "--output-dir", default="clone_out")
 
-    p = sub.add_parser("profile", help="save a JSON workload profile")
+    p = sub.add_parser("profile", parents=[parent],
+                       help="save a JSON workload profile")
     p.add_argument("target")
     p.add_argument("-o", "--output", default=None)
 
-    p = sub.add_parser("clone", help="synthesize a benchmark clone")
+    p = sub.add_parser("clone", parents=[parent],
+                       help="synthesize a benchmark clone")
     common(p, with_output_dir=True)
     p.add_argument("--footprint-scale", type=float, default=1.0)
 
-    common(sub.add_parser("compare",
+    common(sub.add_parser("compare", parents=[parent],
                           help="real vs clone on the base machine"))
-    common(sub.add_parser("sweep", help="28-config cache design study"))
-    common(sub.add_parser("estimate",
+    common(sub.add_parser("sweep", parents=[parent],
+                          help="28-config cache design study"))
+    common(sub.add_parser("estimate", parents=[parent],
                           help="statistical-simulation IPC estimate"))
+
+    p = sub.add_parser("report", parents=[parent],
+                       help="render a prior run's manifest/metrics")
+    p.add_argument("target", help="run directory or manifest.json path")
     return parser
 
 
 _HANDLERS = {
     "list": cmd_list, "profile": cmd_profile, "clone": cmd_clone,
     "compare": cmd_compare, "sweep": cmd_sweep, "estimate": cmd_estimate,
+    "report": cmd_report,
 }
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    if args.quiet:
+        configure_logging(level=WARNING)
+        set_telemetry_enabled(False)
+    else:
+        if args.verbose:
+            configure_logging(level=DEBUG)
+        set_telemetry_enabled(True)
+    reset_telemetry()
+
+    ctx = RunContext(args)
+    wall_start = time.perf_counter()
+    try:
+        code = _HANDLERS[args.command](args, ctx)
+    except CliError as exc:
+        _LOG.error("cli.error", command=args.command, message=str(exc))
+        if ctx.json_mode:
+            print(json.dumps({"command": args.command, "error": str(exc),
+                              "exit_code": exc.code}))
+        return exc.code
+    except SimulationError as exc:
+        _LOG.error("cli.simulation_error", command=args.command,
+                   message=str(exc), pc=exc.pc,
+                   instructions=exc.instructions, block=exc.block)
+        if ctx.json_mode:
+            print(json.dumps({"command": args.command, "error": str(exc),
+                              "exit_code": EXIT_ERROR}))
+        return EXIT_ERROR
+    wall = time.perf_counter() - wall_start
+
+    manifest = None
+    # Manifest collection (incl. a git-rev subprocess) only happens when
+    # something will consume it, so plain/--quiet runs pay nothing.
+    if args.command != "report" and (ctx.json_mode or args.run_dir):
+        manifest = RunManifest.collect(
+            command=args.command, target=getattr(args, "target", None),
+            seed=getattr(args, "seed", None), config=ctx.config,
+            wall_seconds=wall, headline=ctx.headline)
+        if args.run_dir:
+            path = manifest.save(args.run_dir)
+            _LOG.info("cli.manifest", path=path)
+
+    if ctx.json_mode:
+        output = dict(ctx.payload)
+        output.setdefault("command", args.command)
+        if manifest is not None:
+            output["manifest"] = manifest.to_dict()
+        print(json.dumps(output, indent=2, default=str))
+    else:
+        for text in ctx.lines:
+            print(text)
+    return code
 
 
 if __name__ == "__main__":

@@ -30,7 +30,12 @@ from repro.core.profile import (
 )
 from repro.isa.instructions import IClass
 from repro.isa.registers import ZERO_REG
+from repro.obs.logging import get_logger
+from repro.obs.metrics import REGISTRY
+from repro.obs.timing import span
 from repro.sim.functional import run_program
+
+_LOG = get_logger("repro.profiler")
 
 #: Minimum dynamic executions for a static memop to count as a "stream"
 #: in the unique-stream statistic (the paper's susan discussion).
@@ -55,20 +60,31 @@ class WorkloadProfiler:
             total_branches=int(np.count_nonzero(trace.taken >= 0)),
         )
 
-        tables = _StaticTables(program)
-        dyn_class = tables.iclass[pcs]
-        profile.global_mix = np.bincount(
-            dyn_class, minlength=IClass.COUNT).tolist()
+        with span("profile"):
+            tables = _StaticTables(program)
+            dyn_class = tables.iclass[pcs]
+            profile.global_mix = np.bincount(
+                dyn_class, minlength=IClass.COUNT).tolist()
 
-        ctx_of_instr, visit_blocks = self._flow_graph(
-            profile, tables, pcs, program)
-        self._dependencies(profile, tables, pcs, ctx_of_instr, visit_blocks,
-                           program)
-        self._memory_streams(profile, trace)
-        self._branch_behaviour(profile, trace)
-        profile.data_footprint_bytes = (
-            trace.data_footprint(self.footprint_granularity)
-            * self.footprint_granularity)
+            with span("sfg_build"):
+                ctx_of_instr, visit_blocks = self._flow_graph(
+                    profile, tables, pcs, program)
+            with span("dependencies"):
+                self._dependencies(profile, tables, pcs, ctx_of_instr,
+                                   visit_blocks, program)
+            with span("stride_mining"):
+                self._memory_streams(profile, trace)
+            with span("branches"):
+                self._branch_behaviour(profile, trace)
+            profile.data_footprint_bytes = (
+                trace.data_footprint(self.footprint_granularity)
+                * self.footprint_granularity)
+        REGISTRY.counter("profile.instructions").inc(len(pcs))
+        REGISTRY.counter("profile.runs").inc()
+        _LOG.debug("profile.done", program=program.name,
+                   instructions=len(pcs), blocks=len(profile.blocks),
+                   mem_ops=len(profile.mem_ops),
+                   stride_coverage=profile.stride_coverage)
         return profile
 
     # ------------------------------------------------------------------

@@ -27,6 +27,11 @@ from repro.core.sfg import StatisticalFlowGraph
 from repro.isa.assembler import assemble, _li_sequence
 from repro.isa.instructions import IClass
 from repro.isa.registers import reg_name
+from repro.obs.logging import get_logger
+from repro.obs.metrics import REGISTRY
+from repro.obs.timing import span
+
+_LOG = get_logger("repro.synthesizer")
 
 
 @dataclass
@@ -122,6 +127,18 @@ class CloneSynthesizer:
 
     # ------------------------------------------------------------------
     def synthesize(self):
+        with span("synthesize"):
+            result = self._synthesize()
+        REGISTRY.counter("synthesize.runs").inc()
+        REGISTRY.counter("synthesize.block_instances").inc(
+            result.stats["block_instances"])
+        _LOG.debug("synthesize.done", profile=self.profile.name,
+                   block_instances=result.stats["block_instances"],
+                   iterations=result.stats["iterations"],
+                   footprint_bytes=result.stats["footprint_bytes"])
+        return result
+
+    def _synthesize(self):
         profile = self.profile
         params = self.parameters
         rng = random.Random(params.seed)
@@ -144,34 +161,41 @@ class CloneSynthesizer:
                                    / max(mem_per_visit, 1e-6)))
             target = min(params.max_block_instances, target)
 
-        sfg = StatisticalFlowGraph(profile, target_instances=target)
-        sequence = sfg.walk(target, rng)
-        plan = self._make_stream_plan()
+        with span("sfg_walk"):
+            sfg = StatisticalFlowGraph(profile, target_instances=target)
+            sequence = sfg.walk(target, rng)
+            plan = self._make_stream_plan()
 
-        abstract_blocks = self._plan_blocks(sequence, plan, rng)
-        body_estimate = sum(profile.blocks[bid].size for bid in sequence) + 32
-        alpha = plan.finalize(
-            estimated_iterations=max(
-                2, params.dynamic_instructions // max(1, body_estimate)))
-        body_lines, body_instructions = self._emit_body(
-            abstract_blocks, plan, regs)
-        tail_lines, tail_common = self._emit_tail(plan, regs)
+        with span("plan_blocks"):
+            abstract_blocks = self._plan_blocks(sequence, plan, rng)
+            body_estimate = (sum(profile.blocks[bid].size
+                                 for bid in sequence) + 32)
+            alpha = plan.finalize(
+                estimated_iterations=max(
+                    2, params.dynamic_instructions // max(1, body_estimate)))
 
-        per_iteration = body_instructions + tail_common
-        iterations = max(2, params.dynamic_instructions // max(1, per_iteration))
-        init_lines = self._emit_init(plan, regs, iterations)
+        with span("codegen"):
+            body_lines, body_instructions = self._emit_body(
+                abstract_blocks, plan, regs)
+            tail_lines, tail_common = self._emit_tail(plan, regs)
 
-        source_lines = ["    .data"]
-        source_lines.extend(plan.data_directives())
-        source_lines.append("    .text")
-        source_lines.extend(init_lines)
-        source_lines.append("loop_top:")
-        source_lines.extend(body_lines)
-        source_lines.extend(tail_lines)
-        source_lines.append("    halt")
-        asm_source = "\n".join(source_lines) + "\n"
+            per_iteration = body_instructions + tail_common
+            iterations = max(
+                2, params.dynamic_instructions // max(1, per_iteration))
+            init_lines = self._emit_init(plan, regs, iterations)
 
-        program = assemble(asm_source, name=f"{profile.name}.clone")
+            source_lines = ["    .data"]
+            source_lines.extend(plan.data_directives())
+            source_lines.append("    .text")
+            source_lines.extend(init_lines)
+            source_lines.append("loop_top:")
+            source_lines.extend(body_lines)
+            source_lines.extend(tail_lines)
+            source_lines.append("    halt")
+            asm_source = "\n".join(source_lines) + "\n"
+
+        with span("assemble"):
+            program = assemble(asm_source, name=f"{profile.name}.clone")
         stats = {
             "block_instances": len(sequence),
             "per_iteration_instructions": per_iteration,

@@ -1,0 +1,100 @@
+"""Observability: telemetry, tracing, and run provenance (``repro.obs``).
+
+The cloning pipeline is judged entirely by *comparisons* — clone vs
+original across dozens of machine configurations — so every run must be
+inspectable and reproducible.  This package provides the four pieces the
+rest of the stack instruments itself with:
+
+* :mod:`repro.obs.metrics` — process-wide counters, gauges, and
+  histograms with a zero-cost disabled mode;
+* :mod:`repro.obs.timing` — nestable phase spans measuring wall and CPU
+  time (SFG build, stride mining, codegen, simulation, ...);
+* :mod:`repro.obs.logging` — a structured, level-controlled logger
+  (``REPRO_LOG_LEVEL``) replacing bare prints;
+* :mod:`repro.obs.runinfo` — run manifests: seed, config hash, git rev,
+  python version, per-phase wall times, and headline stats as JSON.
+
+Telemetry is ON by default (its cost is per-phase, not per-instruction);
+``set_telemetry_enabled(False)`` — or the CLI's ``--quiet`` — turns the
+whole subsystem into no-ops.
+"""
+
+from repro.obs.logging import (
+    DEBUG,
+    ERROR,
+    INFO,
+    WARNING,
+    configure as configure_logging,
+    get_logger,
+)
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+)
+from repro.obs.runinfo import (
+    MANIFEST_FILENAME,
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    config_hash,
+    git_revision,
+    provenance,
+    validate_manifest,
+)
+from repro.obs.timing import TRACER, Tracer, span
+
+
+def set_telemetry_enabled(enabled):
+    """Toggle metrics and tracing globally (logging has its own level)."""
+    if enabled:
+        REGISTRY.enable()
+        TRACER.enable()
+    else:
+        REGISTRY.disable()
+        TRACER.disable()
+
+
+def telemetry_enabled():
+    return REGISTRY.enabled or TRACER.enabled
+
+
+def reset_telemetry():
+    """Clear accumulated metrics and spans (start of a fresh run)."""
+    REGISTRY.reset()
+    TRACER.reset()
+
+
+__all__ = [
+    "DEBUG",
+    "ERROR",
+    "INFO",
+    "MANIFEST_FILENAME",
+    "MANIFEST_SCHEMA_VERSION",
+    "REGISTRY",
+    "TRACER",
+    "WARNING",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunManifest",
+    "Tracer",
+    "config_hash",
+    "configure_logging",
+    "counter",
+    "gauge",
+    "get_logger",
+    "git_revision",
+    "histogram",
+    "provenance",
+    "reset_telemetry",
+    "set_telemetry_enabled",
+    "span",
+    "telemetry_enabled",
+    "validate_manifest",
+]

@@ -1,0 +1,140 @@
+"""Structured, level-controlled logging for the cloning pipeline.
+
+Log records are *events with fields*, not format strings::
+
+    log = get_logger("repro.sim")
+    log.info("sim.heartbeat", instructions=5_000_000, mips=2.4)
+
+renders on stderr as::
+
+    INFO repro.sim sim.heartbeat instructions=5000000 mips=2.4
+
+The level comes from the ``REPRO_LOG_LEVEL`` environment variable
+(``debug``/``info``/``warning``/``error``, default ``info``) and can be
+overridden programmatically with :func:`configure` (the CLI's
+``--verbose``/``--quiet`` flags do exactly that).  ``json_lines=True``
+switches the sink to one JSON object per line for machine consumption.
+
+Deliberately stdlib-free-standing (no ``logging`` module): the pipeline
+needs exactly leveled, structured, redirectable records — a ~100-line
+implementation keeps hot-path ``isEnabledFor``-style checks to a single
+integer compare with no handler machinery behind it.
+"""
+
+import json
+import os
+import sys
+import time
+
+DEBUG = 10
+INFO = 20
+WARNING = 30
+ERROR = 40
+
+_LEVEL_NAMES = {DEBUG: "DEBUG", INFO: "INFO",
+                WARNING: "WARNING", ERROR: "ERROR"}
+_NAME_LEVELS = {name.lower(): level for level, name in _LEVEL_NAMES.items()}
+
+#: Environment variable controlling the default level.
+LEVEL_ENV_VAR = "REPRO_LOG_LEVEL"
+
+
+def parse_level(value, default=INFO):
+    """``"debug"``/``"20"``/20 → numeric level; unknown values → default."""
+    if value is None:
+        return default
+    if isinstance(value, int):
+        return value
+    text = str(value).strip().lower()
+    if text in _NAME_LEVELS:
+        return _NAME_LEVELS[text]
+    try:
+        return int(text)
+    except ValueError:
+        return default
+
+
+class _Config:
+    """Process-wide sink configuration shared by every logger."""
+
+    __slots__ = ("level", "stream", "json_lines")
+
+    def __init__(self):
+        self.level = parse_level(os.environ.get(LEVEL_ENV_VAR))
+        self.stream = None  # None → sys.stderr resolved at emit time
+        self.json_lines = False
+
+
+_CONFIG = _Config()
+
+
+def configure(level=None, stream=None, json_lines=None):
+    """Adjust the global sink; ``None`` leaves a setting unchanged."""
+    if level is not None:
+        _CONFIG.level = parse_level(level)
+    if stream is not None:
+        _CONFIG.stream = stream
+    if json_lines is not None:
+        _CONFIG.json_lines = bool(json_lines)
+
+
+def current_level():
+    return _CONFIG.level
+
+
+def _render_value(value):
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    text = str(value)
+    return repr(text) if " " in text else text
+
+
+class StructuredLogger:
+    """One named logger; all loggers share the global configuration."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def is_enabled_for(self, level):
+        return level >= _CONFIG.level
+
+    def log(self, level, event, **fields):
+        if level < _CONFIG.level:
+            return
+        stream = _CONFIG.stream or sys.stderr
+        if _CONFIG.json_lines:
+            record = {"ts": round(time.time(), 3),
+                      "level": _LEVEL_NAMES.get(level, str(level)),
+                      "logger": self.name, "event": event}
+            record.update(fields)
+            stream.write(json.dumps(record, default=str) + "\n")
+        else:
+            parts = [_LEVEL_NAMES.get(level, str(level)), self.name, event]
+            parts.extend(f"{key}={_render_value(value)}"
+                         for key, value in fields.items())
+            stream.write(" ".join(parts) + "\n")
+
+    def debug(self, event, **fields):
+        self.log(DEBUG, event, **fields)
+
+    def info(self, event, **fields):
+        self.log(INFO, event, **fields)
+
+    def warning(self, event, **fields):
+        self.log(WARNING, event, **fields)
+
+    def error(self, event, **fields):
+        self.log(ERROR, event, **fields)
+
+
+_LOGGERS = {}
+
+
+def get_logger(name):
+    """Get (or create) the logger with this dotted name."""
+    logger = _LOGGERS.get(name)
+    if logger is None:
+        logger = _LOGGERS[name] = StructuredLogger(name)
+    return logger

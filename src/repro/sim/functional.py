@@ -8,18 +8,37 @@ two's-complement for the integer file and IEEE double for the FP file.
 
 import math
 import struct
+import time
 
 from repro.isa.assembler import TEXT_BASE
 from repro.isa.registers import NUM_REGS, REG_SP
+from repro.obs.logging import INFO, get_logger
+from repro.obs.metrics import REGISTRY
 from repro.sim.memory import Memory
 from repro.sim.trace import DynamicTrace
 
 _M32 = 0xFFFFFFFF
 _SIGN = 0x80000000
 
+_LOG = get_logger("repro.sim")
+
+#: Heartbeat-progress period, in retired instructions.
+HEARTBEAT_INTERVAL = 5_000_000
+
 
 class SimulationError(Exception):
-    """Raised for runaway programs, bad jumps, or unimplemented opcodes."""
+    """Raised for runaway programs, bad jumps, or unimplemented opcodes.
+
+    Carries execution context (``pc``, ``instructions``, ``block``) when
+    raised mid-run, so a runaway clone is debuggable from the message
+    alone.
+    """
+
+    def __init__(self, message, pc=None, instructions=None, block=None):
+        super().__init__(message)
+        self.pc = pc
+        self.instructions = instructions
+        self.block = block
 
 
 def _signed(value):
@@ -102,15 +121,33 @@ class FunctionalSimulator:
             addrs_append = addrs.append
             takens_append = takens.append
 
+        # Heartbeat progress shares the cap check: ``check_limit`` is the
+        # nearer of the cap and the next heartbeat, so the loop keeps the
+        # seed's single integer compare per instruction and telemetry-off
+        # runs are exactly as fast as before.
+        wall_start = time.perf_counter()
+        if REGISTRY.enabled and _LOG.is_enabled_for(INFO):
+            next_heartbeat = HEARTBEAT_INTERVAL
+        else:
+            next_heartbeat = max_instructions + 1
+        check_limit = min(max_instructions, next_heartbeat - 1)
+
         while True:
             if pc < 0 or pc >= n_instrs:
                 raise SimulationError(
-                    f"pc out of range: {pc} in {self.program.name}")
+                    f"pc out of range: {pc} in {self.program.name}",
+                    pc=pc, instructions=executed)
             op_id, rd, rs1, rs2, imm, target = decoded[pc]
             executed += 1
-            if executed > max_instructions:
-                raise SimulationError(
-                    f"instruction cap exceeded in {self.program.name}")
+            if executed > check_limit:
+                if executed > max_instructions:
+                    raise self._cap_error(pc, executed, max_instructions)
+                next_heartbeat += HEARTBEAT_INTERVAL
+                check_limit = min(max_instructions, next_heartbeat - 1)
+                elapsed = time.perf_counter() - wall_start
+                _LOG.info("sim.heartbeat", program=self.program.name,
+                          instructions=executed, pc=pc,
+                          mips=executed / elapsed / 1e6 if elapsed else 0.0)
 
             next_pc = pc + 1
             addr = -1
@@ -353,9 +390,31 @@ class FunctionalSimulator:
 
         self.instructions_executed = executed
         self.halted = True
+        if REGISTRY.enabled:
+            elapsed = time.perf_counter() - wall_start
+            throughput = executed / elapsed / 1e6 if elapsed > 0 else 0.0
+            REGISTRY.counter("sim.instructions").inc(executed)
+            REGISTRY.counter("sim.runs").inc()
+            REGISTRY.gauge("sim.mips").set(throughput)
+            _LOG.debug("sim.run", program=self.program.name,
+                       instructions=executed, wall_s=elapsed,
+                       mips=throughput)
         if trace:
             return DynamicTrace(self.program, pcs, addrs, takens)
         return executed
+
+    def _cap_error(self, pc, executed, max_instructions):
+        """Context-rich error for the instruction-cap (runaway) case."""
+        program = self.program
+        try:
+            block = program.block_of(pc)
+        except Exception:
+            block = None
+        return SimulationError(
+            f"instruction cap exceeded in {program.name}: "
+            f"{executed} retired (cap {max_instructions}), "
+            f"pc={pc}, basic block {block}",
+            pc=pc, instructions=executed, block=block)
 
 
 def run_program(program, max_instructions=50_000_000, trace=True):
@@ -364,6 +423,8 @@ def run_program(program, max_instructions=50_000_000, trace=True):
     With ``trace=False`` returns the finished simulator instead (useful to
     inspect final memory/registers in tests).
     """
+    from repro.obs.timing import span
     simulator = FunctionalSimulator(program)
-    result = simulator.run(max_instructions=max_instructions, trace=trace)
+    with span("sim.run"):
+        result = simulator.run(max_instructions=max_instructions, trace=trace)
     return result if trace else simulator

@@ -53,6 +53,7 @@ class CacheConfig:
 class CacheStats:
     accesses: int = 0
     misses: int = 0
+    evictions: int = 0
 
     @property
     def hits(self):
@@ -64,6 +65,11 @@ class CacheStats:
 
     def misses_per_instruction(self, instructions):
         return self.misses / instructions if instructions else 0.0
+
+    def snapshot(self):
+        """JSON-ready stats block for manifests and telemetry."""
+        return {"accesses": self.accesses, "misses": self.misses,
+                "evictions": self.evictions, "miss_rate": self.miss_rate}
 
 
 class Cache:
@@ -98,6 +104,7 @@ class Cache:
         self.stats.misses += 1
         if len(line_set) >= self._ways:
             del line_set[next(iter(line_set))]
+            self.stats.evictions += 1
         line_set[block] = None
         return False
 
@@ -112,6 +119,10 @@ class Cache:
 
     def resident_lines(self):
         return sum(len(line_set) for line_set in self._sets)
+
+    def occupancy(self):
+        """Fraction of the cache's lines currently resident (0.0–1.0)."""
+        return self.resident_lines() / self.config.lines
 
     def flush(self):
         for line_set in self._sets:

@@ -17,12 +17,18 @@ runs; relative behaviour across configurations — which is what the paper
 evaluates — is.
 """
 
+import time
 from dataclasses import dataclass, field
 
 from repro.isa.instructions import IClass
+from repro.obs.logging import get_logger
+from repro.obs.metrics import REGISTRY
+from repro.obs.timing import span
 from repro.uarch.branch_predictors import make_predictor
 from repro.uarch.cache import CacheHierarchy
 from repro.uarch.config import BASE_CONFIG
+
+_LOG = get_logger("repro.pipeline")
 
 #: Cycles between fetch and dispatch (decode depth).
 DECODE_DEPTH = 2
@@ -44,10 +50,27 @@ class PipelineResult:
     l2_misses: int = 0
     branch_lookups: int = 0
     branch_mispredictions: int = 0
+    # Occupancy/stall telemetry: how often dispatch waited on a full
+    # ROB/LSQ, fetch waited on the decoupling queue, and how many cycles
+    # fetch sat redirected after mispredictions.  Collected only while
+    # the repro.obs metrics registry is enabled; zero otherwise.
+    rob_stalls: int = 0
+    lsq_stalls: int = 0
+    fetch_queue_stalls: int = 0
+    redirect_cycles: int = 0
+    #: Host wall-clock seconds spent inside the timing loop.
+    wall_seconds: float = 0.0
 
     @property
     def ipc(self):
         return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def simulated_mips(self):
+        """Host throughput: simulated instructions per wall microsecond."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.instructions / self.wall_seconds / 1e6
 
     @property
     def branch_misprediction_rate(self):
@@ -158,6 +181,14 @@ class PipelineModel:
         last_issue = 0
         last_commit = 0
         mem_index = 0
+        rob_stalls = 0
+        lsq_stalls = 0
+        fetch_queue_stalls = 0
+        redirect_cycles = 0
+        # Hoisted so a disabled registry costs one local bool test per
+        # stall *event* (not per instruction) in the hot loop.
+        telemetry = REGISTRY.enabled
+        wall_start = time.perf_counter()
         class_counts = [0] * IClass.COUNT
         width = config.width
         in_order = config.in_order
@@ -171,6 +202,8 @@ class PipelineModel:
 
             # ----- fetch ------------------------------------------------
             if fetch_stall_until > fetch_cycle:
+                if telemetry:
+                    redirect_cycles += fetch_stall_until - fetch_cycle
                 fetch_cycle = fetch_stall_until
                 fetch_used = 0
                 fetch_break = False
@@ -196,17 +229,23 @@ class PipelineModel:
                 fetch_time = fetchq_ring[queue_slot]
                 fetch_cycle = fetch_time
                 fetch_used = 1
+                if telemetry:
+                    fetch_queue_stalls += 1
 
             # ----- dispatch (ROB / LSQ allocation) ----------------------
             dispatch_earliest = fetch_time + DECODE_DEPTH
             rob_slot = i % config.rob_size
             if rob_ring[rob_slot] > dispatch_earliest:
                 dispatch_earliest = rob_ring[rob_slot]
+                if telemetry:
+                    rob_stalls += 1
             is_mem = iclass == IClass.LOAD or iclass == IClass.STORE
             if is_mem:
                 lsq_slot = mem_index % config.lsq_size
                 if lsq_ring[lsq_slot] > dispatch_earliest:
                     dispatch_earliest = lsq_ring[lsq_slot]
+                    if telemetry:
+                        lsq_stalls += 1
             dispatch_time = dispatch_port.allocate(dispatch_earliest)
             fetchq_ring[queue_slot] = dispatch_time
 
@@ -267,7 +306,8 @@ class PipelineModel:
                 mem_index += 1
 
         cycles = last_commit if total else 0
-        return PipelineResult(
+        wall = time.perf_counter() - wall_start
+        result = PipelineResult(
             config=config,
             instructions=total,
             cycles=max(1, cycles),
@@ -280,9 +320,25 @@ class PipelineModel:
             l2_misses=hierarchy.l2.stats.misses if hierarchy.l2 else 0,
             branch_lookups=predictor.stats.lookups,
             branch_mispredictions=predictor.stats.mispredictions,
+            rob_stalls=rob_stalls,
+            lsq_stalls=lsq_stalls,
+            fetch_queue_stalls=fetch_queue_stalls,
+            redirect_cycles=redirect_cycles,
+            wall_seconds=wall,
         )
+        if REGISTRY.enabled:
+            REGISTRY.counter("pipeline.instructions").inc(total)
+            REGISTRY.counter("pipeline.runs").inc()
+            REGISTRY.gauge("pipeline.sim_mips").set(result.simulated_mips)
+            _LOG.debug("pipeline.run", config=config.name,
+                       instructions=total, cycles=result.cycles,
+                       ipc=result.ipc, sim_mips=result.simulated_mips,
+                       rob_stalls=rob_stalls, lsq_stalls=lsq_stalls)
+        return result
 
 
 def simulate_pipeline(trace, config=BASE_CONFIG, max_instructions=None):
     """Convenience wrapper: run one trace through one configuration."""
-    return PipelineModel(config).run(trace, max_instructions=max_instructions)
+    with span("uarch.pipeline"):
+        return PipelineModel(config).run(trace,
+                                         max_instructions=max_instructions)

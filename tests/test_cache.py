@@ -129,3 +129,32 @@ class TestHierarchy:
                                    memory_latency=40)
         assert hierarchy.access_data(0) == 40
         assert hierarchy.access_data(0) == 1
+
+
+class TestEvictionStats:
+    def test_no_evictions_until_capacity(self):
+        cache = Cache(CacheConfig(256, "full", 32))  # 8 lines
+        for i in range(8):
+            cache.access(i * 32)
+        assert cache.stats.evictions == 0
+        assert cache.occupancy() == 1.0
+        cache.access(8 * 32)
+        assert cache.stats.evictions == 1
+
+    def test_snapshot_block(self):
+        cache = Cache(CacheConfig(64, 1, 32))  # 2 lines, direct mapped
+        cache.access(0)
+        cache.access(64)  # conflicts with 0
+        snap = cache.stats.snapshot()
+        assert snap["accesses"] == 2
+        assert snap["misses"] == 2
+        assert snap["evictions"] == 1
+        assert snap["miss_rate"] == 1.0
+
+    def test_flush_resets_evictions(self):
+        cache = Cache(CacheConfig(64, 1, 32))
+        cache.access(0)
+        cache.access(64)
+        cache.flush()
+        assert cache.stats.evictions == 0
+        assert cache.occupancy() == 0.0

@@ -1,10 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
 import os
 
 import pytest
 
-from repro.cli import main
+from repro.cli import EXIT_BAD_TARGET, EXIT_LOAD_FAILED, main
 
 
 class TestList:
@@ -44,9 +45,18 @@ loop:
         assert main(["profile", str(source), "-o", str(output)]) == 0
         assert output.exists()
 
-    def test_unknown_target_errors(self):
-        with pytest.raises(SystemExit):
-            main(["profile", "not-a-workload"])
+    def test_unknown_target_distinct_exit_code(self, capsys):
+        assert main(["profile", "not-a-workload"]) == EXIT_BAD_TARGET
+
+    def test_corrupt_profile_json_distinct_exit_code(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["estimate", str(bad)]) == EXIT_LOAD_FAILED
+
+    def test_unparseable_assembly_distinct_exit_code(self, tmp_path):
+        bad = tmp_path / "bad.s"
+        bad.write_text("    .text\nmain:\n    frobnicate r1, r2\n")
+        assert main(["profile", str(bad)]) == EXIT_LOAD_FAILED
 
 
 class TestClone:
@@ -90,3 +100,60 @@ class TestAnalysis:
                      "--instructions", "20000"]) == 0
         out = capsys.readouterr().out
         assert "statistical IPC estimate" in out
+
+
+class TestObservability:
+    def test_json_output_parses_and_carries_manifest(self, capsys):
+        assert main(["compare", "bitcount",
+                     "--instructions", "20000", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["command"] == "compare"
+        assert data["rows"]
+        manifest = data["manifest"]
+        assert manifest["seed"] == 42
+        assert manifest["config_hash"]
+        assert manifest["phases"]  # per-phase wall times present
+        assert manifest["headline"]["sim_mips_clone"] >= 0
+
+    def test_list_json(self, capsys):
+        assert main(["list", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        names = [row["workload"] for row in data["workloads"]]
+        assert "qsort" in names
+
+    def test_report_on_fresh_run_dir(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert main(["estimate", "bitcount", "--instructions", "20000",
+                     "--run-dir", str(run_dir)]) == 0
+        assert (run_dir / "manifest.json").exists()
+        capsys.readouterr()
+        assert main(["report", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "run: estimate bitcount" in out
+        assert "phases:" in out
+        assert "ipc_estimate" in out
+
+    def test_report_missing_dir(self, tmp_path):
+        assert main(["report", str(tmp_path / "nope")]) == EXIT_BAD_TARGET
+
+    def test_report_corrupt_manifest(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        (run_dir / "manifest.json").write_text('{"command": 7}')
+        assert main(["report", str(run_dir)]) == EXIT_LOAD_FAILED
+
+    def test_quiet_disables_telemetry(self, capsys):
+        from repro.obs import TRACER, telemetry_enabled
+        assert main(["estimate", "bitcount", "--instructions", "20000",
+                     "--quiet"]) == 0
+        assert not telemetry_enabled()
+        assert TRACER.flat() == {}
+        # Re-enable for the rest of the test session.
+        from repro.obs import set_telemetry_enabled
+        set_telemetry_enabled(True)
+
+    def test_global_flag_position_before_subcommand(self, capsys):
+        assert main(["--json", "estimate", "bitcount",
+                     "--instructions", "20000"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "ipc_estimate" in data

@@ -287,3 +287,28 @@ class TestHarness:
         address = sum_program.data_symbols["result"]
         assert simulator.memory.read_word(address) == sum(
             [5, 3, 8, 1, 9, 2, 7, 4])
+
+
+class TestSimulationErrorContext:
+    def test_cap_error_carries_context(self):
+        source = "    .text\nspin:\n    j spin\n    halt\n"
+        program = assemble(source, name="spinner")
+        with pytest.raises(SimulationError) as info:
+            FunctionalSimulator(program).run(max_instructions=100)
+        error = info.value
+        assert error.pc == 0  # the spin loop's only instruction
+        assert error.instructions == 101
+        assert error.block == program.block_of(0)
+        message = str(error)
+        assert "spinner" in message
+        assert "101 retired" in message
+        assert "pc=0" in message
+        assert "basic block" in message
+
+    def test_pc_out_of_range_carries_context(self):
+        with pytest.raises(SimulationError) as info:
+            # Jump below the text segment base.
+            FunctionalSimulator(assemble(
+                "    .text\nmain:\n    li r1, 0\n    jr r1\n    halt")).run()
+        assert info.value.pc is not None and info.value.pc < 0
+        assert info.value.instructions >= 1

@@ -1,0 +1,66 @@
+"""Structured logger: levels, field rendering, JSON-lines mode."""
+
+import io
+
+import pytest
+
+from repro.obs import logging as obslog
+
+
+@pytest.fixture
+def sink():
+    """Redirect the global log sink to a buffer, restoring afterwards."""
+    buffer = io.StringIO()
+    old_level = obslog.current_level()
+    old_stream = obslog._CONFIG.stream
+    old_json = obslog._CONFIG.json_lines
+    obslog.configure(level=obslog.DEBUG, stream=buffer, json_lines=False)
+    yield buffer
+    obslog.configure(level=old_level, json_lines=old_json)
+    obslog._CONFIG.stream = old_stream
+
+
+class TestLevels:
+    def test_parse_level_names_and_numbers(self):
+        assert obslog.parse_level("debug") == obslog.DEBUG
+        assert obslog.parse_level("WARNING") == obslog.WARNING
+        assert obslog.parse_level("35") == 35
+        assert obslog.parse_level("bogus") == obslog.INFO
+        assert obslog.parse_level(None, default=obslog.ERROR) == obslog.ERROR
+
+    def test_below_level_is_dropped(self, sink):
+        obslog.configure(level=obslog.WARNING)
+        log = obslog.get_logger("test")
+        log.info("should.not.appear")
+        log.warning("should.appear")
+        out = sink.getvalue()
+        assert "should.not.appear" not in out
+        assert "should.appear" in out
+
+    def test_is_enabled_for(self, sink):
+        obslog.configure(level=obslog.INFO)
+        log = obslog.get_logger("test")
+        assert log.is_enabled_for(obslog.INFO)
+        assert not log.is_enabled_for(obslog.DEBUG)
+
+
+class TestRendering:
+    def test_text_record_has_fields(self, sink):
+        obslog.get_logger("repro.sim").info(
+            "sim.heartbeat", instructions=5_000_000, mips=2.5)
+        line = sink.getvalue().strip()
+        assert line.startswith("INFO repro.sim sim.heartbeat")
+        assert "instructions=5000000" in line
+        assert "mips=2.5" in line
+
+    def test_json_lines_mode(self, sink):
+        import json
+        obslog.configure(json_lines=True)
+        obslog.get_logger("test").error("boom", detail="bad")
+        record = json.loads(sink.getvalue())
+        assert record["level"] == "ERROR"
+        assert record["event"] == "boom"
+        assert record["detail"] == "bad"
+
+    def test_get_logger_is_cached(self):
+        assert obslog.get_logger("x") is obslog.get_logger("x")

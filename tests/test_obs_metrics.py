@@ -1,0 +1,100 @@
+"""Metrics registry semantics: instruments, disabled mode, snapshots."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_INSTRUMENT,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+        assert counter.snapshot() == {"type": "counter", "value": 42}
+
+    def test_gauge_keeps_last_value(self):
+        gauge = Gauge("g")
+        gauge.set(1.5)
+        gauge.set(2.5)
+        assert gauge.value == 2.5
+
+    def test_histogram_bucket_boundaries(self):
+        hist = Histogram("h", bounds=(10, 20, 30))
+        for value in (5, 10, 11, 30, 31, 1000):
+            hist.observe(value)
+        # Bounds are inclusive uppers; the 4th bucket is overflow.
+        assert hist.bucket_counts == [2, 1, 1, 2]
+        assert hist.count == 6
+        assert hist.min == 5 and hist.max == 1000
+        assert hist.mean == pytest.approx(sum((5, 10, 11, 30, 31, 1000)) / 6)
+
+    def test_histogram_snapshot_shape(self):
+        hist = Histogram("h")
+        hist.observe(3)
+        snap = hist.snapshot()
+        assert snap["type"] == "histogram"
+        assert snap["bounds"] == list(DEFAULT_BUCKETS)
+        assert len(snap["bucket_counts"]) == len(DEFAULT_BUCKETS) + 1
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(5, 2))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_snapshot_is_json_ready(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(3)
+        registry.gauge("b").set(0.5)
+        snap = registry.snapshot()
+        assert snap["a"] == {"type": "counter", "value": 3}
+        assert snap["b"] == {"type": "gauge", "value": 0.5}
+
+    def test_reset_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.reset()
+        assert registry.snapshot() == {}
+        assert registry.get("a") is None
+
+
+class TestDisabledMode:
+    def test_disabled_registry_hands_out_null_noops(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("a")
+        gauge = registry.gauge("b")
+        hist = registry.histogram("c")
+        assert counter is NULL_INSTRUMENT
+        assert gauge is NULL_INSTRUMENT and hist is NULL_INSTRUMENT
+        counter.inc(100)
+        gauge.set(9.9)
+        hist.observe(7)
+        assert registry.snapshot() == {}
+
+    def test_enable_toggle(self):
+        registry = MetricsRegistry(enabled=False)
+        assert not registry.enabled
+        registry.enable()
+        registry.counter("a").inc()
+        assert registry.snapshot()["a"]["value"] == 1
+        registry.disable()
+        registry.counter("later").inc(5)  # no-op while disabled
+        assert "later" not in registry.snapshot()

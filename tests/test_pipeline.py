@@ -149,3 +149,43 @@ class TestConfig:
         assert CACHE_SWEEP[0].size == 256 and CACHE_SWEEP[0].ways == 1
         sizes = {config.size for config in CACHE_SWEEP}
         assert min(sizes) == 256 and max(sizes) == 16 * 1024
+
+
+class TestTelemetry:
+    @pytest.fixture(autouse=True)
+    def _telemetry_on(self):
+        from repro.obs import REGISTRY
+        was_enabled = REGISTRY.enabled
+        REGISTRY.enable()
+        yield
+        if not was_enabled:
+            REGISTRY.disable()
+
+    def test_stall_counters_present_and_consistent(self, loop_nest_trace):
+        result = simulate_pipeline(loop_nest_trace, BASE_CONFIG)
+        assert result.rob_stalls >= 0
+        assert result.lsq_stalls >= 0
+        assert result.fetch_queue_stalls >= 0
+        assert result.redirect_cycles >= 0
+        # Redirect stalls come from mispredictions; no mispredicts on a
+        # trace means no redirect cycles.
+        if result.branch_mispredictions == 0:
+            assert result.redirect_cycles == 0
+
+    def test_smaller_rob_stalls_more(self, loop_nest_trace):
+        roomy = simulate_pipeline(
+            loop_nest_trace, BASE_CONFIG.renamed("roomy", rob_size=256))
+        tight = simulate_pipeline(
+            loop_nest_trace, BASE_CONFIG.renamed("tight", rob_size=4))
+        assert tight.rob_stalls >= roomy.rob_stalls
+
+    def test_simulated_mips_measured(self, loop_nest_trace):
+        result = simulate_pipeline(loop_nest_trace, BASE_CONFIG)
+        assert result.wall_seconds > 0.0
+        assert result.simulated_mips > 0.0
+
+    def test_simulated_mips_zero_without_wall_time(self):
+        from repro.uarch.pipeline import PipelineResult
+        result = PipelineResult(config=BASE_CONFIG, instructions=100,
+                                cycles=100)
+        assert result.simulated_mips == 0.0
