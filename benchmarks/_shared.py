@@ -11,37 +11,52 @@ result file is always traceable to the code that produced it.
 
 import json
 import os
+import time
 
+from repro.exec import default_store
 from repro.obs.runinfo import provenance
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 #: Schema version of the emitted ``results/*.json`` files.  Bump when
 #: the envelope (not the per-bench ``data``) changes shape.
-RESULTS_SCHEMA_VERSION = 1
+#: v2: added ``wall_seconds`` and ``artifact_cache`` provenance.
+RESULTS_SCHEMA_VERSION = 2
 
 #: Instruction cap for pipeline-model runs inside benches: long enough
 #: for stable IPC, short enough that the full suite stays in minutes.
 PIPELINE_CAP = 100_000
 
 
-def emit(name, text, data=None):
+#: Wall time of the most recent :func:`run_once`, folded into the next
+#: :func:`emit` envelope so every result records how long its
+#: experiment took without touching per-bench call sites.
+_LAST_WALL_SECONDS = None
+
+
+def emit(name, text, data=None, wall_seconds=None):
     """Print a result block and persist it for the experiment log.
 
     Writes ``results/<name>.txt`` (the human rows, as before) and
     ``results/<name>.json`` — an envelope of ``schema_version``, a
-    ``meta`` provenance block, the rendered ``text``, and the bench's
-    optional structured ``data`` (rows, labels, ...).
+    ``meta`` provenance block, the experiment's wall time, the artifact
+    store's hit/miss provenance (so a result can be told apart from a
+    cached rerun), the rendered ``text``, and the bench's optional
+    structured ``data`` (rows, labels, ...).
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     banner = f"\n===== {name} =====\n{text}\n"
     print(banner)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
         handle.write(text + "\n")
+    if wall_seconds is None:
+        wall_seconds = _LAST_WALL_SECONDS
     envelope = {
         "schema_version": RESULTS_SCHEMA_VERSION,
         "name": name,
         "meta": provenance(),
+        "wall_seconds": wall_seconds,
+        "artifact_cache": default_store().stats(),
         "text": text,
         "data": data,
     }
@@ -52,5 +67,9 @@ def emit(name, text, data=None):
 
 def run_once(benchmark, func):
     """Run ``func`` exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(func, rounds=1, iterations=1,
-                              warmup_rounds=0)
+    global _LAST_WALL_SECONDS
+    start = time.perf_counter()
+    result = benchmark.pedantic(func, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    _LAST_WALL_SECONDS = time.perf_counter() - start
+    return result

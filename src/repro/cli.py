@@ -18,6 +18,13 @@ disables telemetry entirely), ``--json`` switches the command's output
 to a single JSON object including the run manifest, and ``--run-dir``
 persists that manifest to disk for later ``repro report``.
 
+``compare`` and ``sweep`` take ``--jobs N`` (or the ``REPRO_JOBS``
+environment variable) to fan independent simulations out over a process
+pool, and both are backed by the persistent ``repro.exec`` artifact
+cache (``REPRO_CACHE_DIR``, disable with ``REPRO_CACHE=off``): a warm
+cache skips the functional simulations entirely and the run manifest
+records the cache hits/misses that produced the result.
+
 Exit codes: 0 success, 1 runtime failure, 2 bad target, 3 load failure.
 """
 
@@ -35,6 +42,12 @@ from repro.core import (
     profile_trace,
 )
 from repro.evaluation import format_table, pearson, rank_vector
+from repro.exec import (
+    default_store,
+    pipeline_artifacts,
+    resolve_jobs,
+    shared_state_map,
+)
 from repro.isa import AssemblerError, assemble
 from repro.obs import (
     DEBUG,
@@ -46,8 +59,14 @@ from repro.obs import (
     set_telemetry_enabled,
 )
 from repro.sim import SimulationError, run_program
-from repro.uarch import BASE_CONFIG, CACHE_SWEEP, estimate_power, simulate_cache, simulate_pipeline
-from repro.workloads import all_workloads, build_workload, workload_names
+from repro.uarch import (
+    BASE_CONFIG,
+    CACHE_SWEEP,
+    estimate_power,
+    simulate_cache_sweep,
+    simulate_pipeline,
+)
+from repro.workloads import all_workloads, build_workload, get_workload, workload_names
 
 _LOG = get_logger("repro.cli")
 
@@ -120,6 +139,68 @@ def _load_profile(target):
     return profile_trace(run_program(program))
 
 
+#: Functional-simulation cap for compare/sweep (run_program's default).
+_CLI_MAX_FUNCTIONAL = 50_000_000
+
+
+def _target_source(target):
+    """(name, assembly source) for a workload name or a ``.s`` file."""
+    if target in workload_names():
+        return target, get_workload(target).source()
+    if os.path.exists(target):
+        with open(target) as handle:
+            return os.path.basename(target), handle.read()
+    raise CliError(EXIT_BAD_TARGET,
+                   f"{target!r} is neither a workload name nor "
+                   "an assembly file (see `repro list`)")
+
+
+def _pipeline_for(args):
+    """Cache-backed full cloning pipeline for the command's target."""
+    name, source = _target_source(args.target)
+    parameters = SynthesisParameters(
+        dynamic_instructions=args.instructions, seed=args.seed)
+    try:
+        return pipeline_artifacts(name, source, parameters,
+                                  max_instructions=_CLI_MAX_FUNCTIONAL)
+    except AssemblerError as exc:
+        raise CliError(EXIT_LOAD_FAILED,
+                       f"failed to assemble {args.target}: {exc}")
+
+
+def _note_cache(ctx):
+    """Record artifact-cache provenance in payload and manifest."""
+    stats = default_store().stats()
+    ctx.headline.update(artifact_cache_hits=stats["hits"],
+                        artifact_cache_misses=stats["misses"])
+    ctx.payload["artifact_cache"] = stats
+
+
+def _chunks(items, n):
+    """Split ``items`` into ``n`` contiguous, order-preserving slices."""
+    items = list(items)
+    n = max(1, min(n, len(items)))
+    size, extra = divmod(len(items), n)
+    out, start = [], 0
+    for index in range(n):
+        end = start + size + (1 if index < extra else 0)
+        out.append(items[start:end])
+        start = end
+    return out
+
+
+def _compare_sim_worker(state, which):
+    real_trace, clone_trace, config = state
+    trace = real_trace if which == "real" else clone_trace
+    return which, simulate_pipeline(trace, config)
+
+
+def _sweep_chunk_worker(state, configs):
+    real_addresses, clone_addresses = state
+    return (simulate_cache_sweep(real_addresses, configs),
+            simulate_cache_sweep(clone_addresses, configs))
+
+
 # ----------------------------------------------------------------------
 def cmd_list(args, ctx):
     rows = [[spec.name, spec.domain, spec.suite, spec.description]
@@ -186,14 +267,12 @@ def cmd_clone(args, ctx):
 
 
 def cmd_compare(args, ctx):
-    program = _load_program(args.target)
-    real_trace = run_program(program)
-    profile = profile_trace(real_trace)
-    result = make_clone(profile, SynthesisParameters(
-        dynamic_instructions=args.instructions, seed=args.seed))
-    clone_trace = run_program(result.program)
-    real = simulate_pipeline(real_trace, BASE_CONFIG)
-    clone = simulate_pipeline(clone_trace, BASE_CONFIG)
+    artifacts = _pipeline_for(args)
+    jobs = resolve_jobs(getattr(args, "jobs", None))
+    state = (artifacts.trace, artifacts.clone_trace, BASE_CONFIG)
+    results = dict(shared_state_map(_compare_sim_worker,
+                                    ["real", "clone"], state, jobs))
+    real, clone = results["real"], results["clone"]
     ctx.config = BASE_CONFIG
     rows = [
         ["IPC", real.ipc, clone.ipc],
@@ -210,25 +289,32 @@ def cmd_compare(args, ctx):
         sim_mips_real=real.simulated_mips,
         sim_mips_clone=clone.simulated_mips,
         rob_stalls_real=real.rob_stalls, rob_stalls_clone=clone.rob_stalls)
+    _note_cache(ctx)
     return EXIT_OK
 
 
 def cmd_sweep(args, ctx):
-    program = _load_program(args.target)
-    real_trace = run_program(program)
-    profile = profile_trace(real_trace)
-    result = make_clone(profile, SynthesisParameters(
-        dynamic_instructions=args.instructions, seed=args.seed))
-    clone_trace = run_program(result.program)
+    artifacts = _pipeline_for(args)
+    real_trace = artifacts.trace
+    clone_trace = artifacts.clone_trace
     real_addresses = real_trace.memory_addresses()
     clone_addresses = clone_trace.memory_addresses()
     ctx.config = BASE_CONFIG
+    jobs = resolve_jobs(getattr(args, "jobs", None))
+    if jobs > 1:
+        parts = shared_state_map(_sweep_chunk_worker,
+                                 _chunks(CACHE_SWEEP, jobs),
+                                 (real_addresses, clone_addresses), jobs)
+        real_stats = [stats for part in parts for stats in part[0]]
+        clone_stats = [stats for part in parts for stats in part[1]]
+    else:
+        real_stats = simulate_cache_sweep(real_addresses, CACHE_SWEEP)
+        clone_stats = simulate_cache_sweep(clone_addresses, CACHE_SWEEP)
     real_mpi, clone_mpi, rows = [], [], []
-    for config in CACHE_SWEEP:
-        real_value = simulate_cache(real_addresses, config).misses \
-            / len(real_trace)
-        clone_value = simulate_cache(clone_addresses, config).misses \
-            / len(clone_trace)
+    for config, real_cache, clone_cache in zip(CACHE_SWEEP, real_stats,
+                                               clone_stats):
+        real_value = real_cache.misses / len(real_trace)
+        clone_value = clone_cache.misses / len(clone_trace)
         real_mpi.append(real_value)
         clone_mpi.append(clone_value)
         rows.append([config.label(), real_value, clone_value])
@@ -241,6 +327,7 @@ def cmd_sweep(args, ctx):
                         ranking_correlation=ranks)
     ctx.emit(f"\npearson R (relative MPI): {correlation:+.3f}\n"
              f"ranking correlation:      {ranks:+.3f}")
+    _note_cache(ctx)
     return EXIT_OK
 
 
@@ -339,7 +426,7 @@ def build_parser():
     sub.add_parser("list", parents=[parent],
                    help="show the workload corpus")
 
-    def common(p, with_output_dir=False):
+    def common(p, with_output_dir=False, with_jobs=False):
         p.add_argument("target",
                        help="workload name, .s file, or profile .json")
         p.add_argument("--instructions", type=int, default=120_000,
@@ -347,6 +434,10 @@ def build_parser():
         p.add_argument("--seed", type=int, default=42)
         if with_output_dir:
             p.add_argument("-o", "--output-dir", default="clone_out")
+        if with_jobs:
+            p.add_argument("-j", "--jobs", type=int, default=None,
+                           help="worker processes (default: REPRO_JOBS "
+                                "env var, else serial)")
 
     p = sub.add_parser("profile", parents=[parent],
                        help="save a JSON workload profile")
@@ -359,9 +450,11 @@ def build_parser():
     p.add_argument("--footprint-scale", type=float, default=1.0)
 
     common(sub.add_parser("compare", parents=[parent],
-                          help="real vs clone on the base machine"))
+                          help="real vs clone on the base machine"),
+           with_jobs=True)
     common(sub.add_parser("sweep", parents=[parent],
-                          help="28-config cache design study"))
+                          help="28-config cache design study"),
+           with_jobs=True)
     common(sub.add_parser("estimate", parents=[parent],
                           help="statistical-simulation IPC estimate"))
 
@@ -388,6 +481,7 @@ def main(argv=None):
             configure_logging(level=DEBUG)
         set_telemetry_enabled(True)
     reset_telemetry()
+    default_store().reset_counters()
 
     ctx = RunContext(args)
     wall_start = time.perf_counter()

@@ -13,6 +13,7 @@ from repro.evaluation.experiments import (
     base_config_comparison,
     baseline_cache_comparison,
     cache_correlation_study,
+    clear_artifact_cache,
     design_change_study,
     stream_count_table,
     stride_coverage_table,
@@ -25,6 +26,7 @@ __all__ = [
     "base_config_comparison",
     "baseline_cache_comparison",
     "cache_correlation_study",
+    "clear_artifact_cache",
     "design_change_study",
     "format_table",
     "mean_absolute_percentage_error",

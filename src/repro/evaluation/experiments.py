@@ -3,18 +3,26 @@
 Every experiment follows the same recipe: execute the real workload,
 profile it, synthesize the clone, execute the clone, then compare the two
 programs on microarchitecture models.  ``workload_artifacts`` memoizes
-the per-workload pipeline so all experiments in a process share it.
+the per-workload pipeline in-process *and* persists it through the
+:mod:`repro.exec` artifact store, so artifacts are shared across
+processes and across runs.
+
+Every grid experiment takes a ``jobs`` argument (default: the
+``REPRO_JOBS`` environment variable, else serial).  The per-workload
+work is fanned out over a process pool via
+:func:`repro.exec.parallel_map`; with ``jobs=1`` the same worker
+functions run in a plain loop, so serial and parallel results are
+bit-identical.  Cache sweeps replay each address stream against all
+configurations in one batched pass (:func:`simulate_cache_sweep`)
+instead of re-converting and re-walking the stream per configuration.
 """
 
-from dataclasses import dataclass
-
 from repro.core.baseline import MicroarchDependentSynthesizer
-from repro.core.cloning import make_clone
-from repro.core.profiler import profile_trace
 from repro.core.synthesizer import SynthesisParameters
+from repro.exec import Artifacts, parallel_map, pipeline_artifacts
 from repro.sim.functional import run_program
 from repro.uarch.branch_predictors import simulate_predictor
-from repro.uarch.cache import simulate_cache
+from repro.uarch.cache import simulate_cache_sweep
 from repro.uarch.config import BASE_CONFIG, CACHE_SWEEP, DESIGN_CHANGES
 from repro.uarch.pipeline import simulate_pipeline
 from repro.uarch.power import PowerModel
@@ -24,7 +32,7 @@ from repro.evaluation.metrics import (
     rank_vector,
     relative_error,
 )
-from repro.workloads import build_workload, workload_names
+from repro.workloads import get_workload, workload_names
 
 #: Default clone run length: comparable to the real kernels' runs.
 DEFAULT_CLONE_INSTRUCTIONS = 120_000
@@ -33,23 +41,17 @@ DEFAULT_CLONE_INSTRUCTIONS = 120_000
 _MAX_FUNCTIONAL = 20_000_000
 
 
-@dataclass
-class Artifacts:
-    """Everything produced by the cloning pipeline for one workload."""
-
-    name: str
-    program: object
-    trace: object
-    profile: object
-    clone: object  # CloneResult
-    clone_trace: object
-
-
 _ARTIFACT_CACHE = {}
 
 
 def workload_artifacts(name, parameters=None):
-    """Build → run → profile → synthesize → run clone, memoized."""
+    """Build → run → profile → synthesize → run clone, memoized.
+
+    The first level is an in-process dict; behind it sits the
+    persistent :class:`repro.exec.ArtifactStore`, so a warm on-disk
+    cache makes this cheap even in a fresh process (including the
+    parallel grid runner's workers).
+    """
     if parameters is None:
         parameters = SynthesisParameters(
             dynamic_instructions=DEFAULT_CLONE_INSTRUCTIONS)
@@ -57,20 +59,15 @@ def workload_artifacts(name, parameters=None):
     cached = _ARTIFACT_CACHE.get(key)
     if cached is not None:
         return cached
-    program = build_workload(name)
-    trace = run_program(program, max_instructions=_MAX_FUNCTIONAL)
-    profile = profile_trace(trace)
-    clone = make_clone(profile, parameters)
-    clone_trace = run_program(clone.program,
-                              max_instructions=_MAX_FUNCTIONAL)
-    artifacts = Artifacts(name=name, program=program, trace=trace,
-                          profile=profile, clone=clone,
-                          clone_trace=clone_trace)
+    source = get_workload(name).source()
+    artifacts = pipeline_artifacts(name, source, parameters,
+                                   max_instructions=_MAX_FUNCTIONAL)
     _ARTIFACT_CACHE[key] = artifacts
     return artifacts
 
 
 def clear_artifact_cache():
+    """Drop the in-process memo (the persistent store is untouched)."""
     _ARTIFACT_CACHE.clear()
 
 
@@ -81,19 +78,35 @@ def _names(names):
 # ----------------------------------------------------------------------
 # Figure 3: single-stride coverage of dynamic memory references
 # ----------------------------------------------------------------------
-def stride_coverage_table(names=None):
+def _stride_coverage_worker(name):
+    artifacts = workload_artifacts(name)
+    return name, artifacts.profile.stride_coverage
+
+
+def stride_coverage_table(names=None, jobs=None):
     """Rows of (workload, fraction of dynamic refs covered by one stride)."""
-    rows = []
-    for name in _names(names):
-        artifacts = workload_artifacts(name)
-        rows.append((name, artifacts.profile.stride_coverage))
-    return rows
+    return parallel_map(_stride_coverage_worker, _names(names), jobs)
 
 
 # ----------------------------------------------------------------------
 # Figures 4 & 5: miss-per-instruction tracking across 28 cache configs
 # ----------------------------------------------------------------------
-def cache_correlation_study(names=None, configs=None):
+def _cache_mpi_worker(task):
+    """One workload's real and clone MPI rows over the whole sweep."""
+    name, configs = task
+    artifacts = workload_artifacts(name)
+    real_stats = simulate_cache_sweep(
+        artifacts.trace.memory_addresses(), configs)
+    clone_stats = simulate_cache_sweep(
+        artifacts.clone_trace.memory_addresses(), configs)
+    real_n = len(artifacts.trace)
+    clone_n = len(artifacts.clone_trace)
+    return (name,
+            [stats.misses / real_n for stats in real_stats],
+            [stats.misses / clone_n for stats in clone_stats])
+
+
+def cache_correlation_study(names=None, configs=None, jobs=None):
     """Per-workload Pearson correlation of relative MPI across caches.
 
     Returns a dict with per-benchmark correlations (Figure 4), the mean
@@ -102,20 +115,12 @@ def cache_correlation_study(names=None, configs=None):
     """
     configs = list(configs) if configs is not None else CACHE_SWEEP
     names = _names(names)
+    results = parallel_map(_cache_mpi_worker,
+                           [(name, configs) for name in names], jobs)
     correlations = {}
     mpi_real = {}
     mpi_clone = {}
-    for name in names:
-        artifacts = workload_artifacts(name)
-        real_addresses = artifacts.trace.memory_addresses()
-        clone_addresses = artifacts.clone_trace.memory_addresses()
-        real_row = []
-        clone_row = []
-        for config in configs:
-            real_row.append(simulate_cache(real_addresses, config).misses
-                            / len(artifacts.trace))
-            clone_row.append(simulate_cache(clone_addresses, config).misses
-                             / len(artifacts.clone_trace))
+    for name, real_row, clone_row in results:
         mpi_real[name] = real_row
         mpi_clone[name] = clone_row
         # Deltas relative to the first (256B direct-mapped) configuration.
@@ -151,25 +156,30 @@ def cache_correlation_study(names=None, configs=None):
 # ----------------------------------------------------------------------
 # Figures 6 & 7: absolute IPC and power on the base configuration
 # ----------------------------------------------------------------------
+def _base_config_worker(task):
+    name, config, max_instructions = task
+    artifacts = workload_artifacts(name)
+    power_model = PowerModel(config)
+    real = simulate_pipeline(artifacts.trace, config,
+                             max_instructions=max_instructions)
+    clone = simulate_pipeline(artifacts.clone_trace, config,
+                              max_instructions=max_instructions)
+    return {
+        "name": name,
+        "ipc_real": real.ipc,
+        "ipc_clone": clone.ipc,
+        "power_real": power_model.evaluate(real).total,
+        "power_clone": power_model.evaluate(clone).total,
+    }
+
+
 def base_config_comparison(names=None, config=BASE_CONFIG,
-                           max_instructions=None):
+                           max_instructions=None, jobs=None):
     """Per-workload IPC and power, real vs clone, plus average errors."""
     names = _names(names)
-    power_model = PowerModel(config)
-    rows = []
-    for name in names:
-        artifacts = workload_artifacts(name)
-        real = simulate_pipeline(artifacts.trace, config,
-                                 max_instructions=max_instructions)
-        clone = simulate_pipeline(artifacts.clone_trace, config,
-                                  max_instructions=max_instructions)
-        rows.append({
-            "name": name,
-            "ipc_real": real.ipc,
-            "ipc_clone": clone.ipc,
-            "power_real": power_model.evaluate(real).total,
-            "power_clone": power_model.evaluate(clone).total,
-        })
+    rows = parallel_map(
+        _base_config_worker,
+        [(name, config, max_instructions) for name in names], jobs)
     ipc_error = mean_absolute_percentage_error(
         [row["ipc_real"] for row in rows],
         [row["ipc_clone"] for row in rows])
@@ -184,8 +194,31 @@ def base_config_comparison(names=None, config=BASE_CONFIG,
 # ----------------------------------------------------------------------
 # Table 3 / Figures 8 & 9: relative accuracy over five design changes
 # ----------------------------------------------------------------------
+def _design_change_worker(task):
+    """IPC/power for one workload on base plus every changed config.
+
+    Returns ``(name, rows)`` where ``rows`` aligns positionally with
+    ``[base] + changes``.
+    """
+    name, configs, max_instructions = task
+    artifacts = workload_artifacts(name)
+    rows = []
+    for config in configs:
+        power_model = PowerModel(config)
+        real = simulate_pipeline(artifacts.trace, config,
+                                 max_instructions=max_instructions)
+        clone = simulate_pipeline(artifacts.clone_trace, config,
+                                  max_instructions=max_instructions)
+        rows.append({
+            "ipc_real": real.ipc, "ipc_clone": clone.ipc,
+            "power_real": power_model.evaluate(real).total,
+            "power_clone": power_model.evaluate(clone).total,
+        })
+    return name, rows
+
+
 def design_change_study(names=None, base=BASE_CONFIG, changes=None,
-                        max_instructions=None):
+                        max_instructions=None, jobs=None):
     """Relative IPC/power error of the clone for each design change.
 
     Also returns the per-workload speedups and power deltas for the
@@ -193,59 +226,45 @@ def design_change_study(names=None, base=BASE_CONFIG, changes=None,
     """
     changes = list(changes) if changes is not None else DESIGN_CHANGES
     names = _names(names)
-    base_power_model = PowerModel(base)
+    grid = dict(parallel_map(
+        _design_change_worker,
+        [(name, [base] + changes, max_instructions) for name in names],
+        jobs))
 
-    base_results = {}
-    for name in names:
-        artifacts = workload_artifacts(name)
-        real = simulate_pipeline(artifacts.trace, base,
-                                 max_instructions=max_instructions)
-        clone = simulate_pipeline(artifacts.clone_trace, base,
-                                  max_instructions=max_instructions)
-        base_results[name] = {
-            "ipc_real": real.ipc, "ipc_clone": clone.ipc,
-            "power_real": base_power_model.evaluate(real).total,
-            "power_clone": base_power_model.evaluate(clone).total,
-        }
+    base_results = {name: grid[name][0] for name in names}
 
     change_rows = []
     width_detail = None
-    for config in changes:
-        power_model = PowerModel(config)
+    for change_index, config in enumerate(changes, start=1):
         ipc_errors = []
         power_errors = []
         detail = []
         for name in names:
-            artifacts = workload_artifacts(name)
-            real = simulate_pipeline(artifacts.trace, config,
-                                     max_instructions=max_instructions)
-            clone = simulate_pipeline(artifacts.clone_trace, config,
-                                      max_instructions=max_instructions)
+            row = grid[name][change_index]
             base_row = base_results[name]
-            power_real = power_model.evaluate(real).total
-            power_clone = power_model.evaluate(clone).total
             ipc_errors.append(relative_error(
-                real.ipc, base_row["ipc_real"],
-                clone.ipc, base_row["ipc_clone"]))
+                row["ipc_real"], base_row["ipc_real"],
+                row["ipc_clone"], base_row["ipc_clone"]))
             power_errors.append(relative_error(
-                power_real, base_row["power_real"],
-                power_clone, base_row["power_clone"]))
+                row["power_real"], base_row["power_real"],
+                row["power_clone"], base_row["power_clone"]))
             detail.append({
                 "name": name,
-                "speedup_real": real.ipc / base_row["ipc_real"],
-                "speedup_clone": clone.ipc / base_row["ipc_clone"],
-                "power_ratio_real": power_real / base_row["power_real"],
-                "power_ratio_clone": power_clone / base_row["power_clone"],
+                "speedup_real": row["ipc_real"] / base_row["ipc_real"],
+                "speedup_clone": row["ipc_clone"] / base_row["ipc_clone"],
+                "power_ratio_real":
+                    row["power_real"] / base_row["power_real"],
+                "power_ratio_clone":
+                    row["power_clone"] / base_row["power_clone"],
             })
-        row = {
+        change_rows.append({
             "change": config.name,
             "avg_ipc_relative_error":
                 sum(ipc_errors) / len(ipc_errors),
             "avg_power_relative_error":
                 sum(power_errors) / len(power_errors),
             "detail": detail,
-        }
-        change_rows.append(row)
+        })
         if config.name == "2x-width":
             width_detail = detail
     return {"base": base_results, "changes": change_rows,
@@ -255,8 +274,63 @@ def design_change_study(names=None, base=BASE_CONFIG, changes=None,
 # ----------------------------------------------------------------------
 # Ablation A: microarchitecture-dependent baseline vs our clone
 # ----------------------------------------------------------------------
+def _baseline_comparison_worker(task):
+    name, configs, profiled_cache = task
+    artifacts = workload_artifacts(name)
+    real_addresses = artifacts.trace.memory_addresses()
+    real_n = len(artifacts.trace)
+    # One batched pass covers the sweep *and* the profiled cache.
+    real_stats = simulate_cache_sweep(real_addresses,
+                                      list(configs) + [profiled_cache])
+    measured_miss = real_stats[-1].miss_rate
+    real_row = [stats.misses / real_n for stats in real_stats[:-1]]
+    measured_mispredict = simulate_predictor(
+        artifacts.trace, BASE_CONFIG.predictor).stats.misprediction_rate
+    baseline = MicroarchDependentSynthesizer(
+        artifacts.profile, measured_miss, measured_mispredict,
+        profiled_cache_bytes=profiled_cache.size,
+        profiled_line_bytes=profiled_cache.line,
+        parameters=SynthesisParameters(
+            dynamic_instructions=DEFAULT_CLONE_INSTRUCTIONS),
+    ).synthesize()
+    baseline_trace = run_program(baseline.program,
+                                 max_instructions=_MAX_FUNCTIONAL)
+    clone_n = len(artifacts.clone_trace)
+    baseline_n = len(baseline_trace)
+    clone_row = [
+        stats.misses / clone_n for stats in simulate_cache_sweep(
+            artifacts.clone_trace.memory_addresses(), configs)]
+    baseline_row = [
+        stats.misses / baseline_n for stats in simulate_cache_sweep(
+            baseline_trace.memory_addresses(), configs)]
+
+    real_delta = [v - real_row[0] for v in real_row[1:]]
+    mean_real = sum(real_row) / len(real_row)
+
+    def mpi_error(row):
+        """Mean |synthetic - real| MPI, normalized by the real mean —
+        the "large errors when configurations change" the paper
+        ascribes to microarchitecture-dependent synthesis."""
+        if mean_real == 0:
+            return 0.0
+        return (sum(abs(s - r) for s, r in zip(row, real_row))
+                / len(row) / mean_real)
+
+    return {
+        "name": name,
+        "measured_miss_rate": measured_miss,
+        "clone_correlation": pearson(
+            real_delta, [v - clone_row[0] for v in clone_row[1:]]),
+        "baseline_correlation": pearson(
+            real_delta,
+            [v - baseline_row[0] for v in baseline_row[1:]]),
+        "clone_mpi_error": mpi_error(clone_row),
+        "baseline_mpi_error": mpi_error(baseline_row),
+    }
+
+
 def baseline_cache_comparison(names=None, configs=None,
-                              profiled_cache=None):
+                              profiled_cache=None, jobs=None):
     """How each synthesis style tracks cache changes (the paper's
     motivating claim, Sections 1-3).
 
@@ -268,60 +342,9 @@ def baseline_cache_comparison(names=None, configs=None,
     if profiled_cache is None:
         profiled_cache = BASE_CONFIG.l1d
     names = _names(names)
-    rows = []
-    for name in names:
-        artifacts = workload_artifacts(name)
-        real_addresses = artifacts.trace.memory_addresses()
-        real_n = len(artifacts.trace)
-        measured_miss = simulate_cache(real_addresses,
-                                       profiled_cache).miss_rate
-        measured_mispredict = simulate_predictor(
-            artifacts.trace, BASE_CONFIG.predictor).stats.misprediction_rate
-        baseline = MicroarchDependentSynthesizer(
-            artifacts.profile, measured_miss, measured_mispredict,
-            profiled_cache_bytes=profiled_cache.size,
-            profiled_line_bytes=profiled_cache.line,
-            parameters=SynthesisParameters(
-                dynamic_instructions=DEFAULT_CLONE_INSTRUCTIONS),
-        ).synthesize()
-        baseline_trace = run_program(baseline.program,
-                                     max_instructions=_MAX_FUNCTIONAL)
-        baseline_addresses = baseline_trace.memory_addresses()
-        clone_addresses = artifacts.clone_trace.memory_addresses()
-
-        real_row, clone_row, baseline_row = [], [], []
-        for config in configs:
-            real_row.append(
-                simulate_cache(real_addresses, config).misses / real_n)
-            clone_row.append(
-                simulate_cache(clone_addresses, config).misses
-                / len(artifacts.clone_trace))
-            baseline_row.append(
-                simulate_cache(baseline_addresses, config).misses
-                / len(baseline_trace))
-        real_delta = [v - real_row[0] for v in real_row[1:]]
-        mean_real = sum(real_row) / len(real_row)
-
-        def mpi_error(row):
-            """Mean |synthetic - real| MPI, normalized by the real mean —
-            the "large errors when configurations change" the paper
-            ascribes to microarchitecture-dependent synthesis."""
-            if mean_real == 0:
-                return 0.0
-            return (sum(abs(s - r) for s, r in zip(row, real_row))
-                    / len(row) / mean_real)
-
-        rows.append({
-            "name": name,
-            "measured_miss_rate": measured_miss,
-            "clone_correlation": pearson(
-                real_delta, [v - clone_row[0] for v in clone_row[1:]]),
-            "baseline_correlation": pearson(
-                real_delta,
-                [v - baseline_row[0] for v in baseline_row[1:]]),
-            "clone_mpi_error": mpi_error(clone_row),
-            "baseline_mpi_error": mpi_error(baseline_row),
-        })
+    rows = parallel_map(
+        _baseline_comparison_worker,
+        [(name, configs, profiled_cache) for name in names], jobs)
     count = len(rows)
     return {
         "rows": rows,
@@ -339,11 +362,11 @@ def baseline_cache_comparison(names=None, configs=None,
 # ----------------------------------------------------------------------
 # Ablation B: accuracy vs number of unique streams (the susan discussion)
 # ----------------------------------------------------------------------
-def stream_count_table(names=None):
+def stream_count_table(names=None, jobs=None):
     """(workload, unique streams, cache correlation) rows, most streams
     first — the paper's explanation of susan's lower correlation."""
     names = _names(names)
-    study = cache_correlation_study(names)
+    study = cache_correlation_study(names, jobs=jobs)
     rows = []
     for name in names:
         artifacts = workload_artifacts(name)

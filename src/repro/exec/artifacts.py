@@ -1,0 +1,130 @@
+"""Cache-backed execution of the full cloning pipeline.
+
+:func:`pipeline_artifacts` is the one entry point: given a program's
+assembly source and synthesis parameters it either replays the whole
+build → run → profile → synthesize → run-clone pipeline, or
+reconstitutes every product from the persistent :mod:`repro.exec.store`.
+Reconstitution is exact by construction — the trace arrays round-trip
+through ``.npz`` losslessly, the profile through its JSON schema, and
+the clone is re-assembled from the stored assembly text with the same
+deterministic assembler that produced it — so downstream simulations
+cannot tell a warm run from a cold one.
+"""
+
+import os
+from dataclasses import dataclass
+
+from repro.core.cloning import make_clone
+from repro.core.profile import WorkloadProfile
+from repro.core.profiler import profile_trace
+from repro.core.synthesizer import CloneResult
+from repro.exec.store import artifact_key, default_store
+from repro.isa.assembler import assemble
+from repro.obs.logging import get_logger
+from repro.obs.timing import span
+from repro.sim.functional import run_program
+from repro.sim.trace import DynamicTrace
+
+_LOG = get_logger("repro.exec.artifacts")
+
+#: Safety cap for functional simulation used when callers don't pass one
+#: (mirrors the experiment harness's historical cap).
+DEFAULT_MAX_FUNCTIONAL = 20_000_000
+
+
+@dataclass
+class Artifacts:
+    """Everything produced by the cloning pipeline for one workload."""
+
+    name: str
+    program: object
+    trace: object
+    profile: object
+    clone: object  # CloneResult
+    clone_trace: object
+
+
+def _build_artifacts(name, source, parameters, max_instructions):
+    """The cold path: run the whole pipeline from source."""
+    program = assemble(source, name=name)
+    trace = run_program(program, max_instructions=max_instructions)
+    profile = profile_trace(trace)
+    clone = make_clone(profile, parameters)
+    clone_trace = run_program(clone.program,
+                              max_instructions=max_instructions)
+    return Artifacts(name=name, program=program, trace=trace,
+                     profile=profile, clone=clone,
+                     clone_trace=clone_trace)
+
+
+def _load_artifacts(meta, entry, name, source, parameters):
+    """Reconstitute a cached entry into live pipeline objects."""
+    program = assemble(source, name=name)
+    trace = DynamicTrace.load(os.path.join(entry, "trace.npz"), program)
+    profile = WorkloadProfile.load(os.path.join(entry, "profile.json"))
+    with open(os.path.join(entry, "clone.s")) as handle:
+        clone_asm = handle.read()
+    clone_program = assemble(clone_asm, name=meta["clone_name"])
+    clone = CloneResult(program=clone_program, asm_source=clone_asm,
+                        profile=profile, parameters=parameters,
+                        stats=dict(meta.get("clone_stats") or {}))
+    clone_trace = DynamicTrace.load(
+        os.path.join(entry, "clone_trace.npz"), clone_program)
+    return Artifacts(name=name, program=program, trace=trace,
+                     profile=profile, clone=clone,
+                     clone_trace=clone_trace)
+
+
+def pipeline_artifacts(name, source, parameters,
+                       max_instructions=DEFAULT_MAX_FUNCTIONAL,
+                       store=None):
+    """Run (or reload) the cloning pipeline for one assembly source.
+
+    ``store`` defaults to the process-wide persistent store; pass an
+    explicit :class:`~repro.exec.store.ArtifactStore` to isolate, or a
+    disabled one to force the cold path.
+    """
+    store = default_store() if store is None else store
+    key = artifact_key(name, source, parameters, max_instructions)
+    cached = store.load(key)
+    if cached is not None:
+        meta, entry = cached
+        try:
+            with span("exec.artifacts.load"):
+                artifacts = _load_artifacts(meta, entry, name, source,
+                                            parameters)
+            _LOG.debug("artifacts.hit", name=name, key=key)
+            return artifacts
+        except (OSError, KeyError, ValueError) as exc:
+            # A concurrent eviction or partial entry: rebuild.
+            _LOG.warning("artifacts.reload_failed", name=name,
+                         key=key, error=str(exc))
+    # The cold pipeline runs unwrapped so its phase spans keep their
+    # established manifest paths (``profile/...``, ``sim.run``, ...).
+    artifacts = _build_artifacts(name, source, parameters,
+                                 max_instructions)
+    meta = {
+        "name": name,
+        "clone_name": artifacts.clone.program.name,
+        "clone_stats": artifacts.clone.stats,
+        "parameters": repr(parameters),
+        "max_instructions": max_instructions,
+        "trace_instructions": len(artifacts.trace),
+        "clone_trace_instructions": len(artifacts.clone_trace),
+    }
+    files = {
+        "trace.npz": artifacts.trace.save,
+        "clone_trace.npz": artifacts.clone_trace.save,
+        "profile.json": artifacts.profile.save,
+        "clone.s": _text_writer(artifacts.clone.asm_source),
+    }
+    with span("exec.artifacts.save"):
+        store.save(key, meta, files)
+    return artifacts
+
+
+def _text_writer(text):
+    def write(path):
+        with open(path, "w") as handle:
+            handle.write(text)
+    return write

@@ -6,7 +6,14 @@ verify that real application and clone track each other when cache
 geometry, branch predictors, and pipeline parameters change.
 """
 
-from repro.uarch.cache import Cache, CacheConfig, CacheHierarchy, CacheStats, simulate_cache
+from repro.uarch.cache import (
+    Cache,
+    CacheConfig,
+    CacheHierarchy,
+    CacheStats,
+    simulate_cache,
+    simulate_cache_sweep,
+)
 from repro.uarch.branch_predictors import (
     AlwaysNotTaken,
     AlwaysTaken,
@@ -47,5 +54,6 @@ __all__ = [
     "estimate_power",
     "make_predictor",
     "simulate_cache",
+    "simulate_cache_sweep",
     "simulate_pipeline",
 ]

@@ -2,11 +2,16 @@
 
 ``Cache`` is a functional hit/miss model with O(1) accesses (per-set
 insertion-ordered dicts give constant-time LRU).  ``simulate_cache``
-replays an address stream; ``CacheHierarchy`` composes L1I/L1D/L2 for the
-pipeline timing model.
+replays an address stream against one configuration and is the reference
+implementation; ``simulate_cache_sweep`` replays one stream against many
+configurations at once, converting the stream a single time and using
+vectorized fast paths where the geometry allows.  ``CacheHierarchy``
+composes L1I/L1D/L2 for the pipeline timing model.
 """
 
 from dataclasses import dataclass
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -71,6 +76,12 @@ class CacheStats:
         return {"accesses": self.accesses, "misses": self.misses,
                 "evictions": self.evictions, "miss_rate": self.miss_rate}
 
+    def clear(self):
+        """Zero all counts in place (the object identity is preserved)."""
+        self.accesses = 0
+        self.misses = 0
+        self.evictions = 0
+
 
 class Cache:
     """One cache level with true-LRU replacement.
@@ -125,16 +136,26 @@ class Cache:
         return self.resident_lines() / self.config.lines
 
     def flush(self):
+        """Empty every set and reset ``stats`` **in place**.
+
+        The :class:`CacheStats` object bound to ``self.stats`` is reused
+        (cleared, not replaced), so references held by callers keep
+        observing this cache after a flush.
+        """
         for line_set in self._sets:
             line_set.clear()
-        self.stats = CacheStats()
+        self.stats.clear()
 
 
 def simulate_cache(addresses, config):
     """Replay an address stream; returns the final :class:`CacheStats`.
 
-    ``addresses`` may be any iterable of ints (numpy arrays are converted
-    once for speed).
+    This is the *reference* single-configuration replay.  ``addresses``
+    may be any iterable of ints; a numpy array is converted exactly once
+    per call (plain Python ints iterate much faster than numpy scalars)
+    and the input array itself is never mutated.  When sweeping one
+    stream over many configurations, use :func:`simulate_cache_sweep`,
+    which hoists that conversion out of the per-config loop entirely.
     """
     cache = Cache(config)
     access = cache.access
@@ -143,6 +164,144 @@ def simulate_cache(addresses, config):
     for address in addresses:
         access(address)
     return cache.stats
+
+
+# ----------------------------------------------------------------------
+# Batched sweep: one stream, many configurations
+# ----------------------------------------------------------------------
+def _final_residency(blocks, set_mask, ways):
+    """Lines resident after an LRU replay (misses − evictions).
+
+    The set index is a pure function of the block index, so the distinct
+    (set, block) pairs are exactly the distinct blocks; a set that ever
+    saw ``k`` distinct blocks ends with ``min(k, ways)`` resident.
+    """
+    unique_blocks = np.unique(blocks)
+    per_set = np.bincount((unique_blocks & set_mask).astype(np.int64))
+    return int(np.minimum(per_set, ways).sum())
+
+
+def _direct_mapped_stats(blocks, sets):
+    """Vectorized direct-mapped replay (power-of-two ``sets``).
+
+    An access hits iff the previous access to the same set touched the
+    same block, so grouping accesses by set (stable sort) and comparing
+    neighbours yields the exact hit count with no Python loop.
+    """
+    n = len(blocks)
+    mask = sets - 1
+    set_index = blocks & mask
+    order = np.argsort(set_index, kind="stable")
+    grouped_blocks = blocks[order]
+    grouped_sets = set_index[order]
+    hits = int(np.count_nonzero(
+        (grouped_sets[1:] == grouped_sets[:-1])
+        & (grouped_blocks[1:] == grouped_blocks[:-1])))
+    misses = n - hits
+    evictions = misses - _final_residency(blocks, mask, 1)
+    return CacheStats(accesses=n, misses=misses, evictions=evictions)
+
+
+def _two_way_stats(blocks, sets):
+    """Vectorized 2-way LRU replay (power-of-two ``sets``).
+
+    Within one set, collapsing consecutive duplicate blocks (all hits)
+    leaves a stream whose two most recent *distinct* blocks are exactly
+    the previous two elements — so an element hits iff it equals the
+    element two back.  That only holds for two ways (a longer window can
+    contain duplicates), which is why wider associativity replays below.
+    """
+    n = len(blocks)
+    mask = sets - 1
+    set_index = blocks & mask
+    order = np.argsort(set_index, kind="stable")
+    grouped_blocks = blocks[order]
+    grouped_sets = set_index[order]
+    duplicate = np.zeros(n, dtype=bool)
+    duplicate[1:] = ((grouped_sets[1:] == grouped_sets[:-1])
+                     & (grouped_blocks[1:] == grouped_blocks[:-1]))
+    deduped_blocks = grouped_blocks[~duplicate]
+    deduped_sets = grouped_sets[~duplicate]
+    lag2_hits = int(np.count_nonzero(
+        (deduped_sets[2:] == deduped_sets[:-2])
+        & (deduped_blocks[2:] == deduped_blocks[:-2])))
+    misses = len(deduped_blocks) - lag2_hits
+    evictions = misses - _final_residency(blocks, mask, 2)
+    return CacheStats(accesses=n, misses=misses, evictions=evictions)
+
+
+def _replay_blocks(blocks, config):
+    """Exact port of the :class:`Cache` LRU loop over block indices.
+
+    ``blocks`` must be a list of plain ints (the caller converts the
+    numpy block array once and shares it across every config that needs
+    this path).
+    """
+    n_sets = config.sets
+    ways = config.ways
+    line_sets = [dict() for _ in range(n_sets)]
+    is_pow2 = (n_sets & (n_sets - 1)) == 0
+    mask = n_sets - 1
+    misses = 0
+    evictions = 0
+    for block in blocks:
+        line_set = (line_sets[block & mask] if is_pow2
+                    else line_sets[block % n_sets])
+        if block in line_set:
+            del line_set[block]  # refresh recency
+            line_set[block] = None
+            continue
+        misses += 1
+        if len(line_set) >= ways:
+            del line_set[next(iter(line_set))]
+            evictions += 1
+        line_set[block] = None
+    return CacheStats(accesses=len(blocks), misses=misses,
+                      evictions=evictions)
+
+
+def simulate_cache_sweep(addresses, configs):
+    """Replay one address stream against many configurations.
+
+    Returns a list of :class:`CacheStats`, one per config, in config
+    order — each bit-identical to ``simulate_cache(addresses, config)``.
+    The address stream is converted to block indices once per distinct
+    line size; direct-mapped and 2-way power-of-two geometries use fully
+    vectorized numpy paths, everything else shares a single
+    list-converted block stream through the reference LRU replay.
+    """
+    configs = list(configs)
+    address_array = np.asarray(addresses, dtype=np.int64)
+    if len(address_array) == 0:
+        return [CacheStats() for _ in configs]
+    blocks_by_shift = {}
+    block_lists_by_shift = {}
+    results = []
+    for config in configs:
+        shift = config.line.bit_length() - 1
+        blocks = blocks_by_shift.get(shift)
+        if blocks is None:
+            blocks = blocks_by_shift[shift] = address_array >> shift
+        sets = config.sets
+        is_pow2 = (sets & (sets - 1)) == 0
+        if is_pow2 and config.ways == 1:
+            results.append(_direct_mapped_stats(blocks, sets))
+        elif is_pow2 and config.ways == 2:
+            results.append(_two_way_stats(blocks, sets))
+        else:
+            block_list = block_lists_by_shift.get(shift)
+            if block_list is None:
+                # A block equal to its predecessor is MRU in its set and
+                # hits under *any* geometry, so the replay only needs the
+                # consecutive-deduplicated stream (converted once).
+                keep = np.ones(len(blocks), dtype=bool)
+                keep[1:] = blocks[1:] != blocks[:-1]
+                block_list = block_lists_by_shift[shift] = \
+                    blocks[keep].tolist()
+            stats = _replay_blocks(block_list, config)
+            stats.accesses = len(address_array)
+            results.append(stats)
+    return results
 
 
 class CacheHierarchy:

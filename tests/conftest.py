@@ -1,9 +1,32 @@
 """Shared fixtures: small hand-written programs exercising every layer."""
 
+import os
+
 import pytest
 
 from repro.isa import assemble
 from repro.sim import run_program
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_cache(tmp_path_factory):
+    """Point the persistent artifact store at a per-session temp dir.
+
+    Keeps tests hermetic: no reads of (or writes to) the developer's
+    ``~/.cache/repro``, while still exercising the real disk-cache
+    paths within the session.
+    """
+    from repro.exec import reset_default_store
+    cache_dir = tmp_path_factory.mktemp("repro-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    reset_default_store()
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+    reset_default_store()
 
 #: A small two-level loop nest with loads, stores, a multiply, and both a
 #: biased and a data-ish branch — rich enough to profile and clone.

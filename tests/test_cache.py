@@ -71,6 +71,17 @@ class TestCacheBehaviour:
         assert cache.stats.accesses == 0
         assert not cache.contains(0)
 
+    def test_flush_reuses_stats_object(self):
+        # Callers holding a reference to cache.stats (e.g. hierarchies
+        # that expose it) must see the reset, not a stale snapshot.
+        cache = Cache(CacheConfig(256, 1, 32))
+        held = cache.stats
+        cache.access(0)
+        cache.access(64)
+        cache.flush()
+        assert cache.stats is held
+        assert (held.accesses, held.misses, held.evictions) == (0, 0, 0)
+
     def test_stats_accounting(self):
         stats = simulate_cache([0, 0, 32, 64, 0], CacheConfig(256, "full", 32))
         assert stats.accesses == 5

@@ -1,0 +1,96 @@
+"""Parallel grid runner: job resolution, ordering, serial equivalence."""
+
+import os
+
+from repro.evaluation import cache_correlation_study, stride_coverage_table
+from repro.exec import parallel_map, resolve_jobs, shared_state_map
+from repro.uarch import CacheConfig
+
+
+class TestResolveJobs:
+    def test_default_serial(self):
+        assert resolve_jobs(None, environ={}) == 1
+
+    def test_explicit_argument_wins(self):
+        assert resolve_jobs(3, environ={"REPRO_JOBS": "8"}) == 3
+
+    def test_env_fallback(self):
+        assert resolve_jobs(None, environ={"REPRO_JOBS": "4"}) == 4
+
+    def test_zero_means_cpu_count(self):
+        assert resolve_jobs(0, environ={}) == (os.cpu_count() or 1)
+        assert resolve_jobs(None, environ={"REPRO_JOBS": "0"}) \
+            == (os.cpu_count() or 1)
+
+    def test_unparseable_env_is_serial(self):
+        assert resolve_jobs(None, environ={"REPRO_JOBS": "many"}) == 1
+
+    def test_negative_clamps_to_serial(self):
+        assert resolve_jobs(-2, environ={}) == 1
+
+
+def square(value):
+    return value * value
+
+
+def scaled(state, value):
+    return state * value
+
+
+class TestParallelMap:
+    def test_serial_is_plain_loop(self):
+        # jobs=1 must not require picklable callables.
+        assert parallel_map(lambda v: v + 1, [1, 2, 3], jobs=1) == [2, 3, 4]
+
+    def test_parallel_preserves_order(self):
+        items = list(range(40))
+        assert parallel_map(square, items, jobs=4) \
+            == [square(v) for v in items]
+
+    def test_single_item_stays_serial(self):
+        assert parallel_map(lambda v: v, ["only"], jobs=8) == ["only"]
+
+    def test_empty(self):
+        assert parallel_map(square, [], jobs=4) == []
+
+    def test_parallel_equals_serial(self):
+        items = list(range(25))
+        assert parallel_map(square, items, jobs=3) \
+            == parallel_map(square, items, jobs=1)
+
+
+class TestSharedStateMap:
+    def test_serial_passes_state_directly(self):
+        state = object()  # unpicklable on purpose
+        assert shared_state_map(lambda s, v: s is state,
+                                [1, 2], state, jobs=1) == [True, True]
+
+    def test_parallel_equals_serial(self):
+        items = list(range(20))
+        serial = shared_state_map(scaled, items, 7, jobs=1)
+        parallel = shared_state_map(scaled, items, 7, jobs=4)
+        assert parallel == serial == [7 * v for v in items]
+
+
+class TestExperimentEquality:
+    """Parallel experiment grids are numerically identical to serial."""
+
+    NAMES = ["crc32", "sha"]
+    CONFIGS = [CacheConfig(256, 1, 32), CacheConfig(1024, 2, 32),
+               CacheConfig(4096, 4, 32)]
+
+    def test_cache_correlation_study(self):
+        serial = cache_correlation_study(names=self.NAMES,
+                                         configs=self.CONFIGS, jobs=1)
+        parallel = cache_correlation_study(names=self.NAMES,
+                                           configs=self.CONFIGS, jobs=2)
+        assert parallel["correlations"] == serial["correlations"]
+        assert parallel["mpi_real"] == serial["mpi_real"]
+        assert parallel["mpi_clone"] == serial["mpi_clone"]
+        assert parallel["mean_rank_real"] == serial["mean_rank_real"]
+        assert parallel["ranking_correlation"] \
+            == serial["ranking_correlation"]
+
+    def test_stride_coverage_table(self):
+        assert stride_coverage_table(names=self.NAMES, jobs=2) \
+            == stride_coverage_table(names=self.NAMES, jobs=1)

@@ -1,0 +1,161 @@
+"""Persistent artifact store: round-trip determinism, keying, eviction."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.synthesizer import SynthesisParameters
+from repro.exec import (
+    ARTIFACT_SCHEMA_VERSION,
+    ArtifactStore,
+    artifact_key,
+    pipeline_artifacts,
+)
+from repro.exec.store import META_FILENAME
+from repro.workloads import get_workload
+
+PARAMS = SynthesisParameters(dynamic_instructions=30_000)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(root=str(tmp_path / "cache"), enabled=True)
+
+
+def build(store, name="crc32", parameters=PARAMS, max_instructions=500_000):
+    source = get_workload(name).source()
+    return pipeline_artifacts(name, source, parameters,
+                              max_instructions=max_instructions,
+                              store=store)
+
+
+class TestKeying:
+    def test_stable(self):
+        assert artifact_key("x", "src", PARAMS, 10) \
+            == artifact_key("x", "src", PARAMS, 10)
+
+    @pytest.mark.parametrize("other", [
+        ("y", "src", PARAMS, 10),          # name
+        ("x", "src2", PARAMS, 10),         # source (incl. data image)
+        ("x", "src", SynthesisParameters(seed=7), 10),  # parameters
+        ("x", "src", PARAMS, 11),          # functional cap
+    ])
+    def test_any_input_changes_key(self, other):
+        assert artifact_key("x", "src", PARAMS, 10) != artifact_key(*other)
+
+    def test_key_is_filesystem_safe(self):
+        key = artifact_key("weird/name with spaces!", "s", PARAMS, 1)
+        assert "/" not in key and " " not in key
+
+
+class TestRoundTrip:
+    def test_fresh_vs_cached_identical(self, store):
+        cold = build(store)
+        assert store.stats()["writes"] == 1
+        warm = build(store)
+        assert store.stats()["hits"] == 1
+        # Identical profiles, clone assembly, and trace arrays.
+        assert cold.profile.to_dict() == warm.profile.to_dict()
+        assert cold.clone.asm_source == warm.clone.asm_source
+        assert cold.clone.stats == warm.clone.stats
+        assert cold.clone.program.name == warm.clone.program.name
+        for attr in ("pcs", "addrs", "taken"):
+            assert np.array_equal(getattr(cold.trace, attr),
+                                  getattr(warm.trace, attr))
+            assert np.array_equal(getattr(cold.clone_trace, attr),
+                                  getattr(warm.clone_trace, attr))
+
+    def test_cached_clone_program_reassembles_identically(self, store):
+        cold = build(store)
+        warm = build(store)
+        cold_instrs = [repr(i) for i in cold.clone.program.instructions]
+        warm_instrs = [repr(i) for i in warm.clone.program.instructions]
+        assert cold_instrs == warm_instrs
+        assert cold.clone.program.data_image == warm.clone.program.data_image
+
+    def test_different_parameters_miss(self, store):
+        build(store)
+        build(store, parameters=SynthesisParameters(
+            dynamic_instructions=30_000, seed=99))
+        assert store.stats()["writes"] == 2
+        assert store.stats()["hits"] == 0
+
+    def test_disabled_store_always_builds(self, tmp_path):
+        disabled = ArtifactStore(root=str(tmp_path), enabled=False)
+        build(disabled)
+        build(disabled)
+        stats = disabled.stats()
+        assert stats["writes"] == 0 and stats["hits"] == 0
+        assert disabled.entries() == []
+
+
+class TestValidation:
+    def test_corrupt_meta_treated_as_miss_and_rebuilt(self, store):
+        build(store)
+        (key, _, _), = store.entries()
+        meta_path = os.path.join(store.entry_dir(key), META_FILENAME)
+        with open(meta_path, "w") as handle:
+            handle.write("{not json")
+        build(store)
+        assert store.stats()["writes"] == 2
+
+    def test_schema_mismatch_is_miss(self, store):
+        build(store)
+        (key, _, _), = store.entries()
+        meta_path = os.path.join(store.entry_dir(key), META_FILENAME)
+        with open(meta_path) as handle:
+            meta = json.load(handle)
+        meta["schema_version"] = ARTIFACT_SCHEMA_VERSION + 1
+        with open(meta_path, "w") as handle:
+            json.dump(meta, handle)
+        build(store)
+        assert store.stats()["writes"] == 2
+
+    def test_missing_file_is_miss(self, store):
+        build(store)
+        (key, _, _), = store.entries()
+        os.remove(os.path.join(store.entry_dir(key), "trace.npz"))
+        assert store.load(key) is None
+
+
+class TestEviction:
+    def test_prune_removes_lru_first(self, store):
+        build(store, name="crc32")
+        build(store, name="sha")
+        entries = store.entries()
+        assert len(entries) == 2
+        # Touch the newer entry so the older one stays least recent.
+        oldest_key = entries[0][0]
+        os.utime(store.entry_dir(entries[1][0]))
+        evicted = store.prune(max_bytes=entries[1][2])
+        assert oldest_key in evicted
+        assert len(store.entries()) == 1
+        assert store.stats()["evictions"] == len(evicted)
+
+    def test_prune_noop_when_under_limit(self, store):
+        build(store)
+        assert store.prune(max_bytes=store.total_bytes() + 1) == []
+
+    def test_clear(self, store):
+        build(store)
+        store.clear()
+        assert store.entries() == []
+
+    def test_max_bytes_autoprunes_on_write(self, tmp_path):
+        bounded = ArtifactStore(root=str(tmp_path / "b"), enabled=True,
+                                max_bytes=1)
+        build(bounded, name="crc32")
+        # The just-written entry itself exceeds the bound and is evicted.
+        assert bounded.entries() == []
+        assert bounded.stats()["evictions"] >= 1
+
+
+class TestCounters:
+    def test_reset(self, store):
+        build(store)
+        build(store)
+        store.reset_counters()
+        assert store.stats()["hits"] == 0
+        assert store.stats()["writes"] == 0

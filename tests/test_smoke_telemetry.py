@@ -12,7 +12,10 @@ from repro.cli import main
 from repro.obs import validate_manifest
 
 
-def test_compare_json_manifest_validates(capsys):
+def test_compare_json_manifest_validates(capsys, monkeypatch):
+    # Force a cold pipeline: a warm artifact-cache hit would (correctly)
+    # skip the profile/synthesize/sim phases this test asserts on.
+    monkeypatch.setenv("REPRO_CACHE", "off")
     assert main(["compare", "crc32", "--instructions", "20000",
                  "--json"]) == 0
     data = json.loads(capsys.readouterr().out)
