@@ -2,7 +2,6 @@
 pytest-benchmark timing, multiple rounds): functional simulation,
 profiling, synthesis, cache simulation, and the pipeline model."""
 
-import numpy as np
 import pytest
 
 from repro.core import make_clone, profile_trace

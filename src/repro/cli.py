@@ -9,6 +9,8 @@ Commands mirror the vendor/architect workflow:
 * ``compare``   — real vs clone IPC/power/miss rates on the base machine;
 * ``sweep``     — the 28-configuration cache study for one workload;
 * ``estimate``  — statistical-simulation IPC estimate from a profile;
+* ``lint``      — static verification of a workload/assembly file (or,
+  with ``--clone``, profile-conformance analysis of its clone);
 * ``report``    — render the manifest/metrics of a prior run directory.
 
 Global flags (valid before or after the subcommand): ``--verbose`` /
@@ -25,7 +27,8 @@ cache (``REPRO_CACHE_DIR``, disable with ``REPRO_CACHE=off``): a warm
 cache skips the functional simulations entirely and the run manifest
 records the cache hits/misses that produced the result.
 
-Exit codes: 0 success, 1 runtime failure, 2 bad target, 3 load failure.
+Exit codes: 0 success, 1 runtime failure, 2 bad target, 3 load failure,
+4 lint findings (error severity, or any finding under ``lint --strict``).
 """
 
 import argparse
@@ -49,6 +52,7 @@ from repro.exec import (
     shared_state_map,
 )
 from repro.isa import AssemblerError, assemble
+from repro.lint import LintGateError, lint_clone, lint_program
 from repro.obs import (
     DEBUG,
     WARNING,
@@ -74,6 +78,7 @@ EXIT_OK = 0
 EXIT_ERROR = 1
 EXIT_BAD_TARGET = 2
 EXIT_LOAD_FAILED = 3
+EXIT_LINT_FAILED = 4
 
 
 class CliError(Exception):
@@ -99,6 +104,7 @@ class RunContext:
         self.headline = {}
         self.lines = []
         self.config = None  # machine config hashed into the manifest
+        self.lint = None  # lint verdict summary recorded in the manifest
 
     def emit(self, text):
         self.lines.append(text)
@@ -256,18 +262,27 @@ def cmd_clone(args, ctx):
         block_instances=stats["block_instances"],
         iterations=stats["iterations"],
         footprint_bytes=stats["footprint_bytes"])
-    ctx.emit("\n".join([
+    ctx.lint = stats.get("lint")
+    lines = [
         f"wrote {asm_path} and {c_path}",
         f"  block instances: {stats['block_instances']}",
         f"  loop iterations: {stats['iterations']}",
         f"  footprint:       {stats['footprint_bytes']} bytes "
         f"(target {stats['footprint_target']})",
-    ]))
+    ]
+    if ctx.lint is not None:
+        lines.append(
+            f"  lint:            "
+            f"{'pass' if ctx.lint['ok'] else 'FAIL'} "
+            f"({ctx.lint['errors']} error(s), "
+            f"{ctx.lint['warnings']} warning(s))")
+    ctx.emit("\n".join(lines))
     return EXIT_OK
 
 
 def cmd_compare(args, ctx):
     artifacts = _pipeline_for(args)
+    ctx.lint = artifacts.clone.stats.get("lint")
     jobs = resolve_jobs(getattr(args, "jobs", None))
     state = (artifacts.trace, artifacts.clone_trace, BASE_CONFIG)
     results = dict(shared_state_map(_compare_sim_worker,
@@ -295,6 +310,7 @@ def cmd_compare(args, ctx):
 
 def cmd_sweep(args, ctx):
     artifacts = _pipeline_for(args)
+    ctx.lint = artifacts.clone.stats.get("lint")
     real_trace = artifacts.trace
     clone_trace = artifacts.clone_trace
     real_addresses = real_trace.memory_addresses()
@@ -343,6 +359,55 @@ def cmd_estimate(args, ctx):
     return EXIT_OK
 
 
+def cmd_lint(args, ctx):
+    """Static verification: structural passes, plus conformance for clones."""
+    if args.all:
+        targets = list(workload_names())
+    elif args.target:
+        targets = [args.target]
+    else:
+        raise CliError(EXIT_BAD_TARGET,
+                       "give a target or --all (see `repro list`)")
+    reports = []
+    for target in targets:
+        if args.clone:
+            profile = _load_profile(target)
+            parameters = SynthesisParameters(
+                dynamic_instructions=args.instructions, seed=args.seed,
+                lint_gate="off")  # the point here is the report, not a raise
+            report = lint_clone(make_clone(profile, parameters))
+        else:
+            report = lint_program(_load_program(target))
+        reports.append(report)
+        ctx.emit(report.render_text())
+
+    failed = [report for report in reports
+              if not report.ok or (args.strict and report.warnings())]
+    codes = {}
+    for report in reports:
+        for code, count in report.codes().items():
+            codes[code] = codes.get(code, 0) + count
+    summary = {
+        "ok": not failed,
+        "programs": len(reports),
+        "failed": len(failed),
+        "errors": sum(len(report.errors()) for report in reports),
+        "warnings": sum(len(report.warnings()) for report in reports),
+        "codes": dict(sorted(codes.items())),
+    }
+    ctx.payload.update(reports=[report.to_dict() for report in reports],
+                       summary=summary)
+    ctx.headline.update(programs=summary["programs"],
+                        lint_errors=summary["errors"],
+                        lint_warnings=summary["warnings"])
+    ctx.lint = summary
+    ctx.emit(f"\nlint {'FAIL' if failed else 'PASS'}: "
+             f"{summary['programs']} program(s), "
+             f"{summary['errors']} error(s), "
+             f"{summary['warnings']} warning(s)")
+    return EXIT_LINT_FAILED if failed else EXIT_OK
+
+
 def cmd_report(args, ctx):
     """Render the manifest of a prior run directory (or manifest file)."""
     target = args.target
@@ -382,6 +447,18 @@ def cmd_report(args, ctx):
         ctx.emit("\nphases:\n" + format_table(
             ["phase", "count", "wall ms", "cpu ms"], rows,
             float_format="{:.2f}"))
+    if data.get("lint"):
+        lint = data["lint"]
+        verdict = "PASS" if not lint.get("errors") else "FAIL"
+        scope = (f"{lint['programs']} program(s), " if "programs" in lint
+                 else "")
+        ctx.emit(f"\nlint: {verdict} — {scope}"
+                 f"{lint.get('errors', 0)} error(s), "
+                 f"{lint.get('warnings', 0)} warning(s)")
+        if lint.get("codes"):
+            rows = [[code, count]
+                    for code, count in sorted(lint["codes"].items())]
+            ctx.emit(format_table(["code", "count"], rows))
     if data.get("metrics"):
         rows = []
         for name, entry in sorted(data["metrics"].items()):
@@ -458,6 +535,21 @@ def build_parser():
     common(sub.add_parser("estimate", parents=[parent],
                           help="statistical-simulation IPC estimate"))
 
+    p = sub.add_parser("lint", parents=[parent],
+                       help="static verification / clone conformance")
+    p.add_argument("target", nargs="?", default=None,
+                   help="workload name, .s file, or profile .json")
+    p.add_argument("--all", action="store_true",
+                   help="lint every workload in the corpus")
+    p.add_argument("--clone", action="store_true",
+                   help="synthesize the target's clone and lint that "
+                        "(adds profile-conformance passes)")
+    p.add_argument("--strict", action="store_true",
+                   help="warnings also fail (exit 4)")
+    p.add_argument("--instructions", type=int, default=120_000,
+                   help="clone dynamic instruction target (with --clone)")
+    p.add_argument("--seed", type=int, default=42)
+
     p = sub.add_parser("report", parents=[parent],
                        help="render a prior run's manifest/metrics")
     p.add_argument("target", help="run directory or manifest.json path")
@@ -467,7 +559,7 @@ def build_parser():
 _HANDLERS = {
     "list": cmd_list, "profile": cmd_profile, "clone": cmd_clone,
     "compare": cmd_compare, "sweep": cmd_sweep, "estimate": cmd_estimate,
-    "report": cmd_report,
+    "lint": cmd_lint, "report": cmd_report,
 }
 
 
@@ -501,6 +593,17 @@ def main(argv=None):
             print(json.dumps({"command": args.command, "error": str(exc),
                               "exit_code": EXIT_ERROR}))
         return EXIT_ERROR
+    except LintGateError as exc:
+        _LOG.error("cli.lint_gate", command=args.command,
+                   codes=exc.report.codes())
+        if ctx.json_mode:
+            print(json.dumps({"command": args.command,
+                              "error": "post-synthesis lint gate failed",
+                              "lint": exc.report.to_dict(),
+                              "exit_code": EXIT_LINT_FAILED}))
+        else:
+            print(exc.report.render_text(), file=sys.stderr)
+        return EXIT_LINT_FAILED
     wall = time.perf_counter() - wall_start
 
     manifest = None
@@ -510,7 +613,7 @@ def main(argv=None):
         manifest = RunManifest.collect(
             command=args.command, target=getattr(args, "target", None),
             seed=getattr(args, "seed", None), config=ctx.config,
-            wall_seconds=wall, headline=ctx.headline)
+            wall_seconds=wall, headline=ctx.headline, lint=ctx.lint)
         if args.run_dir:
             path = manifest.save(args.run_dir)
             _LOG.info("cli.manifest", path=path)

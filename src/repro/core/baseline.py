@@ -140,6 +140,11 @@ class MicroarchDependentSynthesizer(CloneSynthesizer):
 
     use_alias_pairing = False
 
+    #: This synthesizer deliberately diverges from the profile (that is
+    #: the point of the comparison), so only the structural lint layer
+    #: runs in the post-synthesis gate.
+    lint_conformance = False
+
     def __init__(self, profile, target_miss_rate, target_mispredict_rate,
                  profiled_cache_bytes=16 * 1024, profiled_line_bytes=32,
                  parameters=None):

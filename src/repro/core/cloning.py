@@ -1,7 +1,7 @@
 """One-call performance-cloning API (paper Figure 1, end to end)."""
 
 from repro.core.profiler import profile_program, profile_trace
-from repro.core.synthesizer import CloneSynthesizer, SynthesisParameters
+from repro.core.synthesizer import CloneSynthesizer
 
 
 def make_clone(profile, parameters=None):

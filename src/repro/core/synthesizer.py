@@ -42,6 +42,11 @@ class SynthesisParameters:
     11: "controlling the number of iterations of the loop effectively
     controls the number of dynamic instructions").  ``footprint_scale``
     is the what-if knob for growing/shrinking the cloned data footprint.
+
+    ``lint_gate`` controls the post-synthesis static-verification gate:
+    ``"error"`` (default) raises :class:`repro.lint.LintGateError` on
+    error-severity findings, ``"warn"`` only records the verdict in
+    ``CloneResult.stats["lint"]``, and ``"off"`` skips the gate.
     """
 
     dynamic_instructions: int = 100_000
@@ -52,6 +57,7 @@ class SynthesisParameters:
     min_block_instances: int = 48
     max_block_instances: int = 640
     min_memory_instances: int = 120
+    lint_gate: str = "error"  # "error" | "warn" | "off"
 
 
 @dataclass
@@ -119,16 +125,26 @@ class CloneSynthesizer:
     #: generators modelled every memop independently).
     use_alias_pairing = True
 
+    #: Run the profile-conformance lint layer in the post-synthesis
+    #: gate.  Baseline synthesizers that *intentionally* violate the
+    #: synthesis contract turn this off; the structural layer still runs.
+    lint_conformance = True
+
     def __init__(self, profile, parameters=None):
         self.profile = profile
         self.parameters = parameters or SynthesisParameters()
         if self.parameters.max_pointer_clusters > CloneRegisterFile.MAX_CLUSTERS:
             raise ValueError("at most 8 pointer clusters are supported")
+        if self.parameters.lint_gate not in ("error", "warn", "off"):
+            raise ValueError(
+                f"lint_gate must be 'error', 'warn', or 'off', "
+                f"not {self.parameters.lint_gate!r}")
 
     # ------------------------------------------------------------------
     def synthesize(self):
         with span("synthesize"):
             result = self._synthesize()
+            self._lint_gate(result)
         REGISTRY.counter("synthesize.runs").inc()
         REGISTRY.counter("synthesize.block_instances").inc(
             result.stats["block_instances"])
@@ -198,10 +214,13 @@ class CloneSynthesizer:
             program = assemble(asm_source, name=f"{profile.name}.clone")
         stats = {
             "block_instances": len(sequence),
+            "sequence": list(sequence),
             "per_iteration_instructions": per_iteration,
             "iterations": iterations,
             "clusters": [
-                {"stride": cluster.stride,
+                {"index": cluster.index,
+                 "stride": cluster.stride,
+                 "advance": cluster.advance,
                  "streams": len(cluster.slots),
                  "instances": cluster.total_instances,
                  "reset_period": cluster.reset_period,
@@ -213,6 +232,28 @@ class CloneSynthesizer:
         }
         return CloneResult(program=program, asm_source=asm_source,
                            profile=profile, parameters=params, stats=stats)
+
+    # ------------------------------------------------------------------
+    def _lint_gate(self, result):
+        """Statically verify the freshly synthesized clone (the gate).
+
+        Imported lazily: ``repro.lint`` depends on :mod:`repro.core`
+        modules, so a module-level import here would be circular.
+        """
+        mode = self.parameters.lint_gate
+        if mode == "off":
+            return
+        from repro.lint import LintGateError, lint_clone
+        with span("lint_gate"):
+            report = lint_clone(result, conformance=self.lint_conformance)
+        result.stats["lint"] = report.summary()
+        REGISTRY.counter("lint.gate_runs").inc()
+        if not report.ok:
+            REGISTRY.counter("lint.gate_failures").inc()
+            _LOG.debug("lint_gate.failed", profile=self.profile.name,
+                       codes=report.codes())
+            if mode == "error":
+                raise LintGateError(report)
 
     # ------------------------------------------------------------------
     def _make_stream_plan(self):

@@ -9,7 +9,6 @@ from repro.evaluation.metrics import (
     spearman,
 )
 from repro.evaluation.experiments import (
-    Artifacts,
     base_config_comparison,
     baseline_cache_comparison,
     cache_correlation_study,
@@ -20,6 +19,7 @@ from repro.evaluation.experiments import (
     workload_artifacts,
 )
 from repro.evaluation.reporting import format_table
+from repro.exec import Artifacts
 
 __all__ = [
     "Artifacts",

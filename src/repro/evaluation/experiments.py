@@ -19,7 +19,7 @@ instead of re-converting and re-walking the stream per configuration.
 
 from repro.core.baseline import MicroarchDependentSynthesizer
 from repro.core.synthesizer import SynthesisParameters
-from repro.exec import Artifacts, parallel_map, pipeline_artifacts
+from repro.exec import parallel_map, pipeline_artifacts
 from repro.sim.functional import run_program
 from repro.uarch.branch_predictors import simulate_predictor
 from repro.uarch.cache import simulate_cache_sweep

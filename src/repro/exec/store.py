@@ -46,7 +46,7 @@ _LOG = get_logger("repro.exec.store")
 #: the validation) whenever trace/profile/clone serialization, the
 #: functional simulator, the profiler, or the synthesizer changes in a
 #: way that affects artifact content.
-ARTIFACT_SCHEMA_VERSION = 1
+ARTIFACT_SCHEMA_VERSION = 2  # v2: clone stats carry sequence/advance/lint
 
 META_FILENAME = "meta.json"
 _ENTRY_FILES = (META_FILENAME, "trace.npz", "clone_trace.npz",

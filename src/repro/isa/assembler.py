@@ -113,9 +113,9 @@ class _DataSection:
     def cursor(self):
         return self.base + len(self.image)
 
-    def define(self, label, line):
+    def define(self, label):
         if label in self.symbols:
-            raise AssemblerError(f"line {line}: duplicate data label {label!r}")
+            raise AssemblerError(f"duplicate data label {label!r}")
         self.symbols[label] = self.cursor
 
     def align(self, boundary):
@@ -151,25 +151,25 @@ def assemble(source, name="<asm>"):
     word_fixups = []  # (byte_offset, symbol, line)
     section = ".text"
 
-    def define_label(label, line):
+    def define_label(label):
         if section == ".data":
-            data.define(label, line)
+            data.define(label)
         else:
             if label in labels:
-                raise AssemblerError(f"line {line}: duplicate label {label!r}")
+                raise AssemblerError(f"duplicate label {label!r}")
             labels[label] = len(instructions)
 
-    for lineno, raw in enumerate(source.splitlines(), start=1):
-        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+    def process_line(line, lineno):
+        nonlocal section
         while line:
             head, _, rest = line.partition(" ")
             if head.endswith(":"):
-                define_label(head[:-1], lineno)
+                define_label(head[:-1])
                 line = rest.strip()
                 continue
             break
         if not line:
-            continue
+            return
 
         if line.startswith("."):
             directive, _, rest = line.partition(" ")
@@ -193,16 +193,22 @@ def assemble(source, name="<asm>"):
             elif directive in (".double", ".float"):
                 data.emit_doubles([_parse_float(t) for t in _split_operands(rest)])
             else:
-                raise AssemblerError(f"{name}:{lineno}: unknown directive {directive}")
-            continue
+                raise AssemblerError(f"unknown directive {directive}")
+            return
 
         if section != ".text":
-            raise AssemblerError(f"{name}:{lineno}: instruction outside .text")
+            raise AssemblerError("instruction outside .text")
+        instructions.extend(
+            _parse_instruction(line, branch_fixups, len(instructions), lineno))
+
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
         try:
-            emitted = _parse_instruction(line, branch_fixups, len(instructions))
-        except (AssemblerError, ValueError) as exc:
+            process_line(line, lineno)
+        except AssemblerError as exc:
             raise AssemblerError(f"{name}:{lineno}: {exc}") from None
-        instructions.extend(emitted)
+        except ValueError as exc:
+            raise AssemblerError(f"{name}:{lineno}: {exc}") from None
 
     # Patch `la` placeholders now that data symbols are known.
     for index, instr in enumerate(instructions):
@@ -210,7 +216,8 @@ def assemble(source, name="<asm>"):
             address = data.symbols.get(instr.symbol)
             if address is None:
                 raise AssemblerError(
-                    f"{name}: undefined data symbol {instr.symbol!r}")
+                    f"{name}:{instr.line}: undefined data symbol "
+                    f"{instr.symbol!r} in `la`")
             hi, lo = address >> 16, address & 0xFFFF
             instructions[index] = Instruction("lui", rd=instr.rd, imm=hi)
             instructions[index + 1] = Instruction(
@@ -248,8 +255,13 @@ _ZERO_BRANCHES = {
 }
 
 
-def _parse_instruction(line, branch_fixups, next_index):
-    """Parse one statement; returns the (possibly expanded) instructions."""
+def _parse_instruction(line, branch_fixups, next_index, lineno=None):
+    """Parse one statement; returns the (possibly expanded) instructions.
+
+    ``lineno`` is the source line, threaded into branch fixups and
+    ``la`` placeholders so late (fixup-time) errors still point at the
+    offending source line.
+    """
     mnemonic, _, rest = line.partition(" ")
     mnemonic = mnemonic.lower()
     ops = _split_operands(rest)
@@ -267,7 +279,7 @@ def _parse_instruction(line, branch_fixups, next_index):
         return _li_sequence(parse_reg(ops[0]), _parse_int(ops[1]))
     if mnemonic == "la":
         need(2)
-        pending = _PendingLoadAddress(parse_reg(ops[0]), ops[1], next_index)
+        pending = _PendingLoadAddress(parse_reg(ops[0]), ops[1], lineno)
         # Reserve two slots; both get patched once addresses are known.
         return [pending, Instruction("add", rd=ZERO_REG, rs1=ZERO_REG,
                                      rs2=ZERO_REG)]
@@ -286,13 +298,13 @@ def _parse_instruction(line, branch_fixups, next_index):
     if mnemonic == "b":
         need(1)
         instr = Instruction("j")
-        branch_fixups.append((next_index, ops[0], next_index))
+        branch_fixups.append((next_index, ops[0], lineno))
         return [instr]
     if mnemonic in _BRANCH_SWAPS:
         need(3)
         instr = Instruction(_BRANCH_SWAPS[mnemonic], rs1=parse_reg(ops[1]),
                             rs2=parse_reg(ops[0]))
-        branch_fixups.append((next_index, ops[2], next_index))
+        branch_fixups.append((next_index, ops[2], lineno))
         return [instr]
     if mnemonic in _ZERO_BRANCHES:
         need(2)
@@ -300,7 +312,7 @@ def _parse_instruction(line, branch_fixups, next_index):
         reg = parse_reg(ops[0])
         rs1, rs2 = (ZERO_REG, reg) if zero_first else (reg, ZERO_REG)
         instr = Instruction(opcode, rs1=rs1, rs2=rs2)
-        branch_fixups.append((next_index, ops[1], next_index))
+        branch_fixups.append((next_index, ops[1], lineno))
         return [instr]
 
     # --- real opcodes -------------------------------------------------
@@ -345,17 +357,17 @@ def _parse_instruction(line, branch_fixups, next_index):
         need(3)
         instr = Instruction(mnemonic, rs1=parse_reg(ops[0]),
                             rs2=parse_reg(ops[1]))
-        branch_fixups.append((next_index, ops[2], next_index))
+        branch_fixups.append((next_index, ops[2], lineno))
         return [instr]
     if fmt == "j":
         need(1)
         instr = Instruction(mnemonic)
-        branch_fixups.append((next_index, ops[0], next_index))
+        branch_fixups.append((next_index, ops[0], lineno))
         return [instr]
     if fmt == "jal":
         need(1)
         instr = Instruction(mnemonic, rd=REG_RA)
-        branch_fixups.append((next_index, ops[0], next_index))
+        branch_fixups.append((next_index, ops[0], lineno))
         return [instr]
     if fmt == "jr":
         need(1)

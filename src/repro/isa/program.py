@@ -73,9 +73,21 @@ class Program:
         return self._blocks
 
     def block_of(self, index):
-        """Map an instruction index to its basic block id."""
+        """Map an instruction index to its basic block id.
+
+        Raises :class:`IndexError` with a descriptive message for an
+        empty program or an out-of-range index (e.g. a branch target past
+        the end — the lint pass reports those as ``SR102``).
+        """
         if self._block_of is None:
             self._discover_blocks()
+        if not self._block_of:
+            raise IndexError(
+                f"program {self.name!r} has no instructions, so no blocks")
+        if not 0 <= index < len(self._block_of):
+            raise IndexError(
+                f"instruction index {index} out of range for program "
+                f"{self.name!r} with {len(self._block_of)} instructions")
         return self._block_of[index]
 
     def _discover_blocks(self):
@@ -85,7 +97,10 @@ class Program:
             if instr.is_ctrl or instr.opcode == "halt":
                 if i + 1 < n:
                     leaders.add(i + 1)
-                if instr.target is not None:
+                # Out-of-range targets (a malformed program; see lint
+                # code SR102) contribute no leader: the partition must
+                # stay valid so analyses can still run.
+                if instr.target is not None and 0 <= instr.target < n:
                     leaders.add(instr.target)
         ordered = sorted(leaders)
         blocks = []

@@ -1,0 +1,86 @@
+"""repro.lint — static verification for SRISC programs and clones.
+
+Two layers over one diagnostics vocabulary (:mod:`repro.lint.diagnostics`):
+
+* **Structural** (:mod:`repro.lint.cfg`, :mod:`repro.lint.dataflow`):
+  CFG well-formedness, reachability, register dataflow, and static
+  memory bounds for *any* assembled :class:`repro.isa.Program` —
+  hand-written kernel or synthesized clone alike (``SR1xx`` codes).
+* **Conformance** (:mod:`repro.lint.conformance`): given a
+  :class:`repro.core.synthesizer.CloneResult`, statically re-derive the
+  paper's synthesis contract — mix, dependency distances, branch
+  machinery, streams, footprint — against the source profile (``CF2xx``
+  codes).
+
+Entry points: :func:`lint_program` for any program,
+:func:`lint_clone` for a synthesis result, and :class:`LintGateError`,
+which the post-synthesis gate raises on error-severity findings.
+"""
+
+from repro.lint.cfg import (ControlFlowGraph, check_branch_targets,
+                            check_fallthrough_end, check_reachability)
+from repro.lint.conformance import (CloneShape, ConformanceTolerances,
+                                    check_conformance, discover_shape,
+                                    recover_pattern)
+from repro.lint.dataflow import (check_memory_bounds, check_register_writes,
+                                 check_use_before_def)
+from repro.lint.diagnostics import (CODES, ERROR, INFO, WARNING, Diagnostic,
+                                    LintReport, make_diagnostic,
+                                    merge_reports)
+from repro.obs.metrics import REGISTRY
+from repro.obs.timing import span
+
+__all__ = [
+    "CODES", "ERROR", "INFO", "WARNING",
+    "CloneShape", "ConformanceTolerances", "ControlFlowGraph",
+    "Diagnostic", "LintGateError", "LintReport",
+    "check_branch_targets", "check_conformance", "check_fallthrough_end",
+    "check_memory_bounds", "check_reachability", "check_register_writes",
+    "check_use_before_def", "discover_shape", "lint_clone", "lint_program",
+    "make_diagnostic", "merge_reports", "recover_pattern",
+]
+
+
+class LintGateError(Exception):
+    """Error-severity findings stopped a gated pipeline stage.
+
+    Carries the full :class:`LintReport` as ``.report`` so callers can
+    render or serialize the findings.
+    """
+
+    def __init__(self, report):
+        self.report = report
+        super().__init__(report.render_text())
+
+
+def lint_program(program, severity_overrides=None):
+    """Run every structural pass over one program; returns a report."""
+    with span("lint.program"):
+        cfg = ControlFlowGraph(program)
+        report = merge_reports(
+            program.name,
+            check_branch_targets(program, severity_overrides),
+            check_reachability(cfg, severity_overrides),
+            check_fallthrough_end(cfg, severity_overrides),
+            check_use_before_def(cfg, severity_overrides),
+            check_register_writes(program, severity_overrides),
+            check_memory_bounds(cfg, severity_overrides),
+        )
+    REGISTRY.counter("lint.programs").inc()
+    REGISTRY.counter("lint.diagnostics").inc(len(report))
+    if not report.ok:
+        REGISTRY.counter("lint.failures").inc()
+    return report
+
+
+def lint_clone(clone, tolerances=None, severity_overrides=None,
+               conformance=True):
+    """Structural plus (optionally) conformance passes for one clone."""
+    with span("lint.clone"):
+        report = lint_program(clone.program, severity_overrides)
+        if conformance:
+            report = merge_reports(
+                clone.program.name, report,
+                check_conformance(clone, tolerances, severity_overrides))
+    REGISTRY.counter("lint.clones").inc()
+    return report

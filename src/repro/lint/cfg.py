@@ -1,0 +1,135 @@
+"""Structural control-flow verification (lint layer 1, part one).
+
+Builds a static CFG over :meth:`repro.isa.Program.basic_blocks` and runs
+the passes that need only edges: invalid branch targets (``SR102``),
+unreachable blocks (``SR101``), and fall-through past the end of the
+program (``SR103``).
+
+Call semantics (``jal`` → target *and* fall-through, as the call
+returns; ``jr``/``jalr`` → no static successors) are deliberately
+conservative: they can miss dead code behind an indirect jump but never
+invent an edge that does not exist, so error-severity findings are
+trustworthy.
+"""
+
+from repro.isa.instructions import IClass
+from repro.lint.diagnostics import LintReport, make_diagnostic
+
+
+class ControlFlowGraph:
+    """Static CFG: blocks plus successor/predecessor edges.
+
+    Out-of-range targets contribute no edge (they are reported by
+    :func:`check_branch_targets`); :meth:`repro.isa.Program.basic_blocks`
+    likewise ignores them when choosing leaders, so the block partition
+    stays valid even for malformed programs.
+    """
+
+    def __init__(self, program):
+        self.program = program
+        self.blocks = program.basic_blocks()
+        n_instrs = len(program)
+        self.successors = {block.bid: [] for block in self.blocks}
+        self.predecessors = {block.bid: [] for block in self.blocks}
+        #: Block ids whose terminator can fall through past the end.
+        self.fallthrough_end = []
+
+        for block in self.blocks:
+            last = program.instructions[block.end - 1]
+            succs = []
+            falls_through = True
+            if last.opcode == "halt":
+                falls_through = False
+            elif last.is_ctrl:
+                if last.target is not None and 0 <= last.target < n_instrs:
+                    succs.append(program.block_of(last.target))
+                if last.iclass == IClass.JUMP:
+                    # Direct jumps never fall through; calls (jal) resume
+                    # after the call site once the callee returns, and
+                    # indirect jumps (jr/jalr) have no static successor.
+                    falls_through = last.opcode in ("jal", "jalr")
+            if falls_through:
+                if block.end < n_instrs:
+                    succs.append(program.block_of(block.end))
+                else:
+                    self.fallthrough_end.append(block.bid)
+            self.successors[block.bid] = succs
+            for succ in succs:
+                self.predecessors[succ].append(block.bid)
+
+        self.entry = (program.block_of(program.entry)
+                      if 0 <= program.entry < n_instrs else None)
+
+    # ------------------------------------------------------------------
+    def reachable(self):
+        """Block ids reachable from the entry block (the entry included)."""
+        if self.entry is None:
+            return set()
+        seen = {self.entry}
+        stack = [self.entry]
+        while stack:
+            bid = stack.pop()
+            for succ in self.successors[bid]:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+
+# ----------------------------------------------------------------------
+# Passes
+# ----------------------------------------------------------------------
+def check_branch_targets(program, severity_overrides=None):
+    """``SR102``: every static branch/jump target must be in-program."""
+    report = LintReport(program.name)
+    n_instrs = len(program)
+    for index, instr in enumerate(program.instructions):
+        if instr.target is not None and not 0 <= instr.target < n_instrs:
+            report.add(make_diagnostic(
+                "SR102",
+                f"{instr.opcode} targets instruction {instr.target}, but "
+                f"the program has {n_instrs} instructions",
+                severity_overrides=severity_overrides,
+                index=index, pc=program.pc_address(index),
+                data={"target": instr.target}))
+    return report
+
+
+def check_reachability(cfg, severity_overrides=None):
+    """``SR101``: every block should be reachable from the entry."""
+    report = LintReport(cfg.program.name)
+    reachable = cfg.reachable()
+    for block in cfg.blocks:
+        if block.bid not in reachable:
+            report.add(make_diagnostic(
+                "SR101",
+                f"block {block.bid} (instructions {block.start}.."
+                f"{block.end - 1}) is unreachable",
+                severity_overrides=severity_overrides,
+                block=block.bid, index=block.start,
+                pc=cfg.program.pc_address(block.start)))
+    return report
+
+
+def check_fallthrough_end(cfg, severity_overrides=None):
+    """``SR103``: no reachable path may run off the end of the program."""
+    report = LintReport(cfg.program.name)
+    if not len(cfg.program):
+        report.add(make_diagnostic(
+            "SR103", "program has no instructions",
+            severity_overrides=severity_overrides))
+        return report
+    reachable = cfg.reachable()
+    for bid in cfg.fallthrough_end:
+        if bid not in reachable:
+            continue  # dead code is SR101's finding, not a live fall-off
+        block = cfg.blocks[bid]
+        last = block.end - 1
+        report.add(make_diagnostic(
+            "SR103",
+            f"block {bid} ends at the last instruction "
+            f"({cfg.program.instructions[last].opcode!r}) and can fall "
+            "through past the end of the program",
+            severity_overrides=severity_overrides,
+            block=bid, index=last, pc=cfg.program.pc_address(last)))
+    return report

@@ -1,0 +1,567 @@
+"""Profile-conformance verification of synthesized clones (lint layer 2).
+
+Given a :class:`repro.core.synthesizer.CloneResult` and its source
+:class:`repro.core.profile.WorkloadProfile`, these passes statically
+re-derive the properties the synthesis contract (paper Section 3.2)
+promises — instruction mix, dependency-distance histogram, per-branch
+modulo/random machinery, stream pointer advances, and data footprint —
+and report divergence beyond configurable tolerances.  No instruction is
+executed: everything is recovered from the assembled program text plus
+the clone's generation stats.
+
+The passes deliberately *re-implement* the contract instead of importing
+the synthesizer's internals: a verifier that shares code with the
+generator it checks can only confirm that the code ran, not that it did
+the right thing.  The one shared piece is
+:func:`repro.core.branch_model.pattern_for`, because the mapping from
+profiled rates to a realizable pattern *is* the published contract.
+
+Rare-path exclusion: a conditional branch whose target lies more than
+one instruction ahead (the tail's ``bne countdown, r0, advK`` skipping a
+pointer reset) guards a path executed once per ``reset_period``
+iterations, so those instructions are excluded from the steady-state mix
+and dependency walks.  Generated block branches always target the very
+next instruction and are unaffected.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.branch_model import BranchPattern, pattern_for
+from repro.core.profile import NUM_DEP_BUCKETS, dep_bucket
+from repro.core.regassign import CloneRegisterFile
+from repro.isa.instructions import IClass
+from repro.isa.registers import ZERO_REG
+from repro.lint.diagnostics import LintReport, make_diagnostic
+
+_COUNTER = CloneRegisterFile.COUNTER
+_SCRATCH = CloneRegisterFile.SCRATCH
+_RNG = CloneRegisterFile.RNG
+_FIRST_POINTER = CloneRegisterFile.FIRST_POINTER
+_POINTERS = range(_FIRST_POINTER,
+                  _FIRST_POINTER + CloneRegisterFile.MAX_CLUSTERS)
+
+#: Mirror of the synthesizer's class→abstract-label mapping (jumps are
+#: linearized into integer-ALU work so per-class counts still add up).
+_SYNTH_LABELS = {
+    IClass.IALU: "ialu", IClass.IMUL: "imul", IClass.IDIV: "idiv",
+    IClass.FALU: "falu", IClass.FMUL: "fmul", IClass.FDIV: "fdiv",
+    IClass.LOAD: "load", IClass.STORE: "store", IClass.JUMP: "ialu",
+}
+_CLASS_OF_LABEL = {
+    "ialu": IClass.IALU, "imul": IClass.IMUL, "idiv": IClass.IDIV,
+    "falu": IClass.FALU, "fmul": IClass.FMUL, "fdiv": IClass.FDIV,
+    "load": IClass.LOAD, "store": IClass.STORE,
+}
+#: Condition-setup ALU instructions each branch mechanism inserts.
+_SETUP_COST = {"modulo": 2, "random": 3}
+
+
+@dataclass(frozen=True)
+class ConformanceTolerances:
+    """Divergence bounds; defaults mirror the corpus fidelity tests."""
+
+    memory_fraction: float = 0.08  # |clone − profile| memory fraction
+    branch_fraction: float = 0.12  # |clone − profile| branch fraction
+    compute_fraction: float = 0.05  # per IMUL/IDIV/FMUL/FDIV class
+    dep_tvd: float = 0.40  # total-variation distance, dep buckets
+    taken_rate: float = 0.15  # aggregate branch taken-rate
+    footprint_ratio_low: float = 0.2  # clone/target footprint bounds
+    footprint_ratio_high: float = 8.0
+
+
+# ----------------------------------------------------------------------
+# Shape recovery
+# ----------------------------------------------------------------------
+@dataclass
+class CloneShape:
+    """Recovered init/loop/tail structure of a synthesized clone."""
+
+    loop_start: int  # index of the first loop-body instruction
+    backedge: int  # index of the ``blt r1, r2, loop_top`` back-edge
+    tail_start: int  # first tail instruction (pointer advance / rng)
+    body: list  # steady-state instruction indices (rare paths excluded)
+    n_blocks: int  # number of generated ``bb<k>`` blocks
+
+
+def _is_tail_start(instr):
+    """First tail instruction: a pointer advance or the xorshift step."""
+    if (instr.opcode == "addi" and instr.rd == instr.rs1
+            and instr.rd in _POINTERS):
+        return True
+    return (instr.opcode == "slli" and instr.rd == _SCRATCH
+            and instr.rs1 == _RNG and instr.imm == 13)
+
+
+def discover_shape(program, report, severity_overrides=None):
+    """Recover the clone's loop structure, or report ``CF200`` and None."""
+    labels = program.labels
+    loop = labels.get("loop_top")
+    if loop is None:
+        report.add(make_diagnostic(
+            "CF200", "clone has no 'loop_top' label",
+            severity_overrides=severity_overrides))
+        return None
+    backedge = None
+    for index in range(len(program) - 1, -1, -1):
+        instr = program.instructions[index]
+        if instr.is_cond_branch and instr.target == loop:
+            backedge = index
+            break
+    if backedge is None or backedge <= loop:
+        report.add(make_diagnostic(
+            "CF200", "clone has no conditional back-edge to 'loop_top'",
+            severity_overrides=severity_overrides))
+        return None
+
+    n_blocks = 0
+    while f"bb{n_blocks}" in labels:
+        n_blocks += 1
+    if n_blocks == 0:
+        report.add(make_diagnostic(
+            "CF200", "clone has no generated 'bb<k>' blocks",
+            severity_overrides=severity_overrides))
+        return None
+
+    tail_start = labels.get(f"bb{n_blocks - 1}_n")
+    if tail_start is None:
+        tail_start = labels[f"bb{n_blocks - 1}"]
+        while (tail_start <= backedge
+               and not _is_tail_start(program.instructions[tail_start])):
+            tail_start += 1
+
+    body = []
+    index = loop
+    while index <= backedge:
+        instr = program.instructions[index]
+        body.append(index)
+        if (instr.is_cond_branch and instr.target is not None
+                and index + 1 < instr.target <= backedge):
+            index = instr.target  # skip the rarely-taken reset path
+        else:
+            index += 1
+    return CloneShape(loop_start=loop, backedge=backedge,
+                      tail_start=tail_start, body=body, n_blocks=n_blocks)
+
+
+# ----------------------------------------------------------------------
+# CF201: instruction mix
+# ----------------------------------------------------------------------
+def _body_hist(program, indices):
+    hist = [0] * IClass.COUNT
+    for index in indices:
+        hist[program.instructions[index].iclass] += 1
+    return hist
+
+
+def _expected_block_hist(profile, bid, pattern):
+    """Static class histogram the synthesizer promises for one block."""
+    stats = profile.blocks[bid]
+    counts = {}
+    for iclass, count in enumerate(stats.mix):
+        label = _SYNTH_LABELS.get(iclass)
+        if label is None or count == 0:
+            continue
+        counts[label] = counts.get(label, 0) + count
+    counts.pop("load", None)
+    counts.pop("store", None)
+    loads = sum(1 for pc in stats.mem_pcs
+                if not profile.mem_ops.get(pc)
+                or not profile.mem_ops[pc].is_store)
+    stores = len(stats.mem_pcs) - loads
+    if loads:
+        counts["load"] = loads
+    if stores:
+        counts["store"] = stores
+    setup = _SETUP_COST.get(getattr(pattern, "kind", ""), 0)
+    if setup and counts.get("ialu", 0) > 0:
+        counts["ialu"] = max(0, counts["ialu"] - setup)
+    hist = [0] * IClass.COUNT
+    for label, count in counts.items():
+        if count:
+            hist[_CLASS_OF_LABEL[label]] += count
+    if pattern is not None:
+        hist[IClass.BRANCH] += 1
+        hist[IClass.IALU] += _SETUP_COST.get(pattern.kind, 0)
+    return hist
+
+
+def _block_regions(program, shape):
+    """(k, start, end) instruction regions of the generated blocks."""
+    labels = program.labels
+    regions = []
+    for k in range(shape.n_blocks):
+        start = labels[f"bb{k}"]
+        end = (labels[f"bb{k + 1}"] if k + 1 < shape.n_blocks
+               else shape.tail_start)
+        regions.append((k, start, end))
+    return regions
+
+
+def check_mix_conformance(clone, shape, tolerances,
+                          severity_overrides=None, patterns=None):
+    """``CF201``: clone instruction mix must match the profile's.
+
+    Aggregate check: steady-state body class fractions against the
+    profiled global mix.  Per-block check (when the clone's stats carry
+    the SFG walk ``sequence``): each generated block's static class
+    histogram must equal the one the synthesizer derives from that
+    block's profiled mix — an exact, zero-tolerance contract.
+    """
+    program = clone.program
+    profile = clone.profile
+    report = LintReport(program.name)
+    hist = _body_hist(program, shape.body)
+    total = sum(hist)
+    profile_fracs = profile.mix_fractions()
+    if total and sum(profile_fracs):
+        fracs = [count / total for count in hist]
+        checks = [
+            ("memory", fracs[IClass.LOAD] + fracs[IClass.STORE],
+             profile_fracs[IClass.LOAD] + profile_fracs[IClass.STORE],
+             tolerances.memory_fraction),
+            ("branch", fracs[IClass.BRANCH], profile_fracs[IClass.BRANCH],
+             tolerances.branch_fraction),
+        ]
+        for iclass, label in ((IClass.IMUL, "imul"), (IClass.IDIV, "idiv"),
+                              (IClass.FMUL, "fmul"), (IClass.FDIV, "fdiv")):
+            checks.append((label, fracs[iclass], profile_fracs[iclass],
+                           tolerances.compute_fraction))
+        for label, got, want, tolerance in checks:
+            if abs(got - want) > tolerance:
+                report.add(make_diagnostic(
+                    "CF201",
+                    f"{label} fraction {got:.3f} diverges from profiled "
+                    f"{want:.3f} (tolerance {tolerance:.3f})",
+                    severity_overrides=severity_overrides,
+                    data={"class": label, "clone": round(got, 4),
+                          "profile": round(want, 4)}))
+
+    sequence = clone.stats.get("sequence")
+    if sequence and len(sequence) == shape.n_blocks:
+        if patterns is None:
+            patterns = expected_patterns(profile, sequence)
+        expected_cache = {}  # the walk revisits source blocks
+        for (k, start, end), bid, pattern in zip(
+                _block_regions(program, shape), sequence, patterns):
+            got = _body_hist(program, range(start, end))
+            cache_key = (bid, getattr(pattern, "kind", None))
+            want = expected_cache.get(cache_key)
+            if want is None:
+                want = _expected_block_hist(profile, bid, pattern)
+                expected_cache[cache_key] = want
+            if got != want:
+                diffs = [f"{label}={got[iclass]} (expected {want[iclass]})"
+                         for label, iclass in _CLASS_OF_LABEL.items()
+                         if got[iclass] != want[iclass]]
+                diffs.extend(
+                    f"{name}={got[iclass]} (expected {want[iclass]})"
+                    for name, iclass in (("branch", IClass.BRANCH),
+                                         ("other", IClass.OTHER))
+                    if got[iclass] != want[iclass])
+                report.add(make_diagnostic(
+                    "CF201",
+                    f"block bb{k} (from profile block {bid}) mix "
+                    f"diverges: {', '.join(diffs)}",
+                    severity_overrides=severity_overrides,
+                    index=start, data={"block": k, "source_bid": bid}))
+    return report
+
+
+# ----------------------------------------------------------------------
+# CF202: dependency distances
+# ----------------------------------------------------------------------
+def check_dep_conformance(clone, shape, tolerances,
+                          severity_overrides=None):
+    """``CF202``: steady-state dependency histogram vs the profile.
+
+    Records, for every register read in the loop body, the distance to
+    the closest preceding write — the profiler's exact semantics,
+    applied to the static steady-state path.  The last-writer map is
+    seeded with each register's final write position shifted back one
+    iteration, so loop-carried distances wrap correctly without walking
+    a warm-up pass.
+    """
+    instructions = clone.program.instructions
+    report = LintReport(clone.program.name)
+    profile_fracs = clone.profile.dep_fractions()
+    if not sum(profile_fracs):
+        return report
+    hist = [0] * NUM_DEP_BUCKETS
+    body = [instructions[index] for index in shape.body]
+    length = len(body)
+    last_write = {}
+    for position, instr in enumerate(body):
+        rd = instr.rd
+        if rd is not None and rd != ZERO_REG:
+            last_write[rd] = position - length  # previous iteration
+    for position, instr in enumerate(body):
+        for src in instr.srcs:
+            if src == ZERO_REG:
+                continue
+            writer = last_write.get(src)
+            if writer is not None:
+                hist[dep_bucket(position - writer)] += 1
+        rd = instr.rd
+        if rd is not None and rd != ZERO_REG:
+            last_write[rd] = position
+    total = sum(hist)
+    if not total:
+        return report
+    tvd = 0.5 * sum(abs(count / total - want)
+                    for count, want in zip(hist, profile_fracs))
+    if tvd > tolerances.dep_tvd:
+        report.add(make_diagnostic(
+            "CF202",
+            f"dependency-distance histogram diverges from the profile "
+            f"(total-variation distance {tvd:.3f} > "
+            f"{tolerances.dep_tvd:.3f})",
+            severity_overrides=severity_overrides,
+            data={"tvd": round(tvd, 4)}))
+    return report
+
+
+# ----------------------------------------------------------------------
+# CF203: branch machinery
+# ----------------------------------------------------------------------
+def expected_patterns(profile, sequence):
+    """The pattern the contract demands for each generated block.
+
+    ``shift`` is left at 0 for random patterns — the synthesizer rotates
+    it through a cursor, and the bit-window position does not affect the
+    realized rates — so comparisons must ignore it.  The SFG walk
+    revisits source blocks, so patterns are memoized per block id.
+    """
+    cache = {}
+    patterns = []
+    for bid in sequence:
+        if bid in cache:
+            patterns.append(cache[bid])
+            continue
+        stats = profile.blocks[bid]
+        if stats.branch_pc < 0:
+            pattern = None
+        else:
+            branch = profile.branches.get(stats.branch_pc)
+            if branch is None:
+                pattern = pattern_for(1.0, 0.0)
+            else:
+                pattern = pattern_for(branch.taken_rate,
+                                      branch.transition_rate)
+        cache[bid] = pattern
+        patterns.append(pattern)
+    return patterns
+
+
+def recover_pattern(program, k):
+    """Parse block ``k``'s terminating machinery back to a pattern.
+
+    Returns a :class:`BranchPattern`, None (no machinery emitted), or
+    the string ``"unrecognized"``.
+    """
+    labels = program.labels
+    end = labels.get(f"bb{k}_n")
+    if end is None:
+        return None
+    start = labels[f"bb{k}"]
+    instructions = program.instructions
+    branch = instructions[end - 1]
+    if not branch.is_cond_branch or branch.target != end:
+        return "unrecognized"
+    if (branch.opcode == "beq" and branch.rs1 == ZERO_REG
+            and branch.rs2 == ZERO_REG):
+        return BranchPattern(kind="taken")
+    if (branch.opcode == "bne" and branch.rs1 == ZERO_REG
+            and branch.rs2 == ZERO_REG):
+        return BranchPattern(kind="not_taken")
+    if (branch.opcode != "bne" or branch.rs2 != ZERO_REG
+            or end - 3 < start):
+        return "unrecognized"
+    cond = branch.rs1
+    compare = instructions[end - 2]
+    setup = instructions[end - 3]
+    if (compare.opcode != "slti" or compare.rd != cond
+            or compare.rs1 != cond):
+        return "unrecognized"
+    threshold = compare.imm
+    if (setup.opcode == "andi" and setup.rd == cond
+            and setup.rs1 == _COUNTER):
+        period = setup.imm + 1
+        if period < 2 or period & (period - 1):
+            return "unrecognized"
+        return BranchPattern(kind="modulo", period=period,
+                             threshold=threshold)
+    if (setup.opcode == "andi" and setup.rd == cond and setup.rs1 == cond
+            and setup.imm == 7 and end - 4 >= start):
+        window = instructions[end - 4]
+        if (window.opcode == "srli" and window.rd == cond
+                and window.rs1 == _RNG):
+            return BranchPattern(kind="random", threshold=threshold,
+                                 shift=window.imm)
+    return "unrecognized"
+
+
+def check_branch_conformance(clone, shape, tolerances,
+                             severity_overrides=None, patterns=None):
+    """``CF203``: branch machinery must realize the profiled rates.
+
+    Per-block (when ``sequence`` is available): the recovered pattern's
+    kind/period/threshold must exactly equal ``pattern_for`` applied to
+    the source branch's profiled rates.  Aggregate (always): the mean
+    expected taken rate over the recovered machinery must match the
+    profile's dynamic taken rate.
+    """
+    program = clone.program
+    profile = clone.profile
+    report = LintReport(program.name)
+    recovered = [recover_pattern(program, k) for k in range(shape.n_blocks)]
+
+    sequence = clone.stats.get("sequence")
+    if sequence and len(sequence) == shape.n_blocks:
+        if patterns is None:
+            patterns = expected_patterns(profile, sequence)
+        for k, (bid, expected) in enumerate(zip(sequence, patterns)):
+            got = recovered[k]
+            location = {"index": program.labels[f"bb{k}"],
+                        "data": {"block": k, "source_bid": bid}}
+            if got == "unrecognized":
+                report.add(make_diagnostic(
+                    "CF203", f"block bb{k} ends in unrecognized branch "
+                    "machinery", severity_overrides=severity_overrides,
+                    **location))
+            elif expected is None and got is not None:
+                report.add(make_diagnostic(
+                    "CF203", f"block bb{k} has branch machinery but "
+                    f"profile block {bid} has no terminating branch",
+                    severity_overrides=severity_overrides, **location))
+            elif expected is not None and got is None:
+                report.add(make_diagnostic(
+                    "CF203", f"block bb{k} is missing the branch "
+                    f"machinery for profile block {bid}",
+                    severity_overrides=severity_overrides, **location))
+            elif expected is not None and (
+                    (got.kind, got.period, got.threshold)
+                    != (expected.kind, expected.period, expected.threshold)):
+                report.add(make_diagnostic(
+                    "CF203",
+                    f"block bb{k} realizes {got.kind}"
+                    f"(period={got.period}, threshold={got.threshold}) "
+                    f"but profile block {bid} demands {expected.kind}"
+                    f"(period={expected.period}, "
+                    f"threshold={expected.threshold})",
+                    severity_overrides=severity_overrides, **location))
+
+    realized = [pattern for pattern in recovered
+                if isinstance(pattern, BranchPattern)]
+    total_count = sum(stats.count for stats in profile.branches.values())
+    if realized and total_count:
+        clone_rate = (sum(p.expected_taken_rate() for p in realized)
+                      / len(realized))
+        profile_rate = sum(stats.taken_rate * stats.count
+                           for stats in profile.branches.values()) \
+            / total_count
+        if abs(clone_rate - profile_rate) > tolerances.taken_rate:
+            report.add(make_diagnostic(
+                "CF203",
+                f"aggregate taken rate {clone_rate:.3f} diverges from "
+                f"profiled {profile_rate:.3f} "
+                f"(tolerance {tolerances.taken_rate:.3f})",
+                severity_overrides=severity_overrides,
+                data={"clone": round(clone_rate, 4),
+                      "profile": round(profile_rate, 4)}))
+    return report
+
+
+# ----------------------------------------------------------------------
+# CF204 / CF205: streams and footprint
+# ----------------------------------------------------------------------
+def check_stream_conformance(clone, shape, severity_overrides=None):
+    """``CF204``: tail pointer advances must match the memory plan."""
+    program = clone.program
+    report = LintReport(program.name)
+    planned = {cluster["index"]: cluster["advance"]
+               for cluster in clone.stats.get("clusters", [])
+               if "index" in cluster and "advance" in cluster}
+    if not planned:
+        return report  # stats from an older schema: nothing to check
+    recovered = {}
+    for index in shape.body:
+        if index < shape.tail_start:
+            continue
+        instr = program.instructions[index]
+        if (instr.opcode == "addi" and instr.rd == instr.rs1
+                and instr.rd in _POINTERS):
+            recovered[instr.rd - _FIRST_POINTER] = instr.imm
+    for cluster_index in sorted(set(planned) | set(recovered)):
+        want = planned.get(cluster_index)
+        got = recovered.get(cluster_index)
+        if want is None:
+            report.add(make_diagnostic(
+                "CF204", f"tail advances pointer cluster {cluster_index} "
+                "which the memory plan does not declare",
+                severity_overrides=severity_overrides,
+                data={"cluster": cluster_index, "advance": got}))
+        elif got is None:
+            report.add(make_diagnostic(
+                "CF204", f"tail never advances pointer cluster "
+                f"{cluster_index} (plan advance {want})",
+                severity_overrides=severity_overrides,
+                data={"cluster": cluster_index}))
+        elif got != want:
+            report.add(make_diagnostic(
+                "CF204", f"pointer cluster {cluster_index} advances by "
+                f"{got} per iteration, the plan demands {want}",
+                severity_overrides=severity_overrides,
+                data={"cluster": cluster_index, "advance": got,
+                      "plan": want}))
+    return report
+
+
+def check_footprint_conformance(clone, tolerances, severity_overrides=None):
+    """``CF205``: data image size vs the scaled profiled footprint."""
+    program = clone.program
+    report = LintReport(program.name)
+    scale = getattr(clone.parameters, "footprint_scale", 1.0) or 1.0
+    target = clone.profile.data_footprint_bytes * scale
+    if target <= 0:
+        return report
+    footprint = len(program.data_image)
+    ratio = footprint / target
+    if not (tolerances.footprint_ratio_low <= ratio
+            <= tolerances.footprint_ratio_high):
+        report.add(make_diagnostic(
+            "CF205",
+            f"clone data footprint {footprint} bytes is {ratio:.2f}x the "
+            f"scaled profiled footprint {target:.0f} bytes (accepted "
+            f"{tolerances.footprint_ratio_low}x.."
+            f"{tolerances.footprint_ratio_high}x)",
+            severity_overrides=severity_overrides,
+            data={"footprint": footprint, "target": round(target),
+                  "ratio": round(ratio, 3)}))
+    return report
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def check_conformance(clone, tolerances=None, severity_overrides=None):
+    """Run every conformance pass over one synthesized clone."""
+    tolerances = tolerances or ConformanceTolerances()
+    report = LintReport(clone.program.name)
+    shape = discover_shape(clone.program, report, severity_overrides)
+    if shape is None:
+        return report
+    sequence = clone.stats.get("sequence")
+    patterns = (expected_patterns(clone.profile, sequence)
+                if sequence and len(sequence) == shape.n_blocks else None)
+    for pass_report in (
+            check_mix_conformance(clone, shape, tolerances,
+                                  severity_overrides, patterns=patterns),
+            check_dep_conformance(clone, shape, tolerances,
+                                  severity_overrides),
+            check_branch_conformance(clone, shape, tolerances,
+                                     severity_overrides, patterns=patterns),
+            check_stream_conformance(clone, shape, severity_overrides),
+            check_footprint_conformance(clone, tolerances,
+                                        severity_overrides)):
+        report.extend(pass_report.diagnostics)
+    return report

@@ -72,12 +72,15 @@ class RunManifest:
     headline: dict = dataclasses.field(default_factory=dict)
     phases: dict = dataclasses.field(default_factory=dict)
     metrics: dict = dataclasses.field(default_factory=dict)
+    #: Static-analysis verdict summary (``repro.lint``): ``ok``/``errors``
+    #: /``warnings``/``codes`` counts, or None when no lint ran.
+    lint: dict = None
     provenance: dict = dataclasses.field(default_factory=provenance)
     schema_version: int = MANIFEST_SCHEMA_VERSION
 
     @classmethod
     def collect(cls, command, target=None, seed=None, config=None,
-                wall_seconds=0.0, headline=None):
+                wall_seconds=0.0, headline=None, lint=None):
         """Build a manifest from the global tracer/registry state."""
         from repro.obs.metrics import REGISTRY
         from repro.obs.timing import TRACER
@@ -85,7 +88,8 @@ class RunManifest:
                    config_hash=config_hash(config) if config is not None
                    else None,
                    wall_seconds=wall_seconds, headline=dict(headline or {}),
-                   phases=TRACER.flat(), metrics=REGISTRY.snapshot())
+                   phases=TRACER.flat(), metrics=REGISTRY.snapshot(),
+                   lint=dict(lint) if lint else None)
 
     # ------------------------------------------------------------------
     def to_dict(self):
@@ -146,6 +150,7 @@ def validate_manifest(data):
     if wall is not None and wall < 0:
         errors.append("wall_seconds is negative")
     expect("headline", dict)
+    expect("lint", dict, required=False, nullable=True)
     prov = expect("provenance", dict)
     if prov is not None:
         for key in ("python", "platform", "created_at"):

@@ -24,7 +24,7 @@ from repro.core.branch_model import RNG_SEED, pattern_for, xorshift32
 from repro.core.profile import bucket_representative
 from repro.core.sfg import StatisticalFlowGraph
 from repro.core.synthesizer import _CLASS_LABELS, _interleave, _sample_bucket
-from repro.isa.instructions import IClass, Instruction
+from repro.isa.instructions import Instruction
 from repro.isa.program import Program
 from repro.sim.trace import DynamicTrace
 

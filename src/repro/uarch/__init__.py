@@ -55,5 +55,6 @@ __all__ = [
     "make_predictor",
     "simulate_cache",
     "simulate_cache_sweep",
+    "simulate_predictor",
     "simulate_pipeline",
 ]

@@ -184,3 +184,63 @@ after:
     j after""", data="tab: .word 1")
         assert program.labels["after"] == 2
         assert program.instructions[2].target == 2
+
+
+class TestErrorLocations:
+    """Every assembly error names the source line and offending token."""
+
+    def raises(self, source, name="prog"):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble(source, name=name)
+        return str(excinfo.value)
+
+    def test_undefined_branch_label_names_line(self):
+        message = self.raises(
+            "    .text\nmain:\n    beq r1, r0, nowhere\n    halt\n")
+        assert message.startswith("prog:3: ")
+        assert "'nowhere'" in message
+
+    def test_operand_count_error_names_line(self):
+        message = self.raises("    .text\n    nop\n    addi r5, r0\n")
+        assert message.startswith("prog:3: ")
+        assert "addi" in message
+
+    def test_bad_register_names_line(self):
+        message = self.raises("    .text\n    addi r99, r0, 1\n")
+        assert message.startswith("prog:2: ")
+        assert "r99" in message
+
+    def test_unknown_directive_names_line(self):
+        message = self.raises("    .data\n    .quux 4\n")
+        assert message.startswith("prog:2: ")
+        assert ".quux" in message
+
+    def test_instruction_outside_text_names_line(self):
+        message = self.raises("    .data\n    addi r5, r0, 1\n")
+        assert message.startswith("prog:2: ")
+
+    def test_duplicate_data_label_names_line(self):
+        message = self.raises(
+            "    .data\nx: .word 1\nx: .word 2\n    .text\n    halt\n")
+        assert message.startswith("prog:3: ")
+        assert "'x'" in message
+
+    def test_duplicate_text_label_names_line(self):
+        message = self.raises(
+            "    .text\nmain:\n    nop\nmain:\n    halt\n")
+        assert message.startswith("prog:4: ")
+        assert "'main'" in message
+
+    def test_undefined_la_symbol_names_its_line(self):
+        # `la` is patched after layout: the recorded line must survive
+        # to the second pass instead of pointing at the end of file.
+        message = self.raises(
+            "    .text\n    nop\n    la r4, ghost\n    j 0\n    halt\n")
+        assert message.startswith("prog:3: ")
+        assert "'ghost'" in message
+
+    def test_branch_fixup_line_survives_forward_reference(self):
+        message = self.raises(
+            "    .text\n    nop\n    nop\n    bne r1, r0, missing\n"
+            "    halt\n")
+        assert message.startswith("prog:4: ")

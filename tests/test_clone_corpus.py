@@ -7,6 +7,8 @@ import pytest
 from repro.core import profile_trace
 from repro.evaluation import workload_artifacts
 from repro.isa.instructions import IClass
+from repro.lint import lint_clone, lint_program
+from repro.workloads import registry, workload_names
 
 SAMPLE = ["qsort", "susan", "dijkstra", "sha", "adpcm", "fft",
           "stringsearch", "mpeg2dec"]
@@ -77,3 +79,22 @@ class TestCloneFidelityAcrossCorpus:
         # The clone re-executes its body, so dynamic blocks >> static.
         visits = sum(stats.visits for stats in clone.blocks.values())
         assert visits > 3 * len(clone.blocks)
+
+
+# ----------------------------------------------------------------------
+# Static analysis over the corpus: every kernel and every synthesized
+# clone must carry zero error-severity lint findings.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", workload_names())
+def test_every_kernel_is_structurally_clean(name):
+    report = lint_program(registry()[name].build())
+    assert report.errors() == [], report.render_text()
+
+
+@pytest.mark.parametrize("name", SAMPLE)
+def test_sampled_clones_pass_full_lint(name):
+    clone = workload_artifacts(name).clone
+    report = lint_clone(clone)
+    assert report.errors() == [], report.render_text()
+    # the gate already ran at synthesis time and recorded its verdict
+    assert clone.stats["lint"]["ok"] is True

@@ -1,0 +1,181 @@
+"""Profile-conformance lint (CF2xx): clean clones pass, perturbed fail.
+
+Each perturbation test takes the session's ``loop_nest_clone``, edits
+one aspect of its assembly (or stats) the way a buggy synthesizer
+would, reassembles, and asserts that exactly the matching conformance
+code fires.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.branch_model import BranchPattern
+from repro.core.synthesizer import CloneResult
+from repro.isa import assemble
+from repro.lint import (
+    ConformanceTolerances,
+    check_conformance,
+    discover_shape,
+    lint_clone,
+    recover_pattern,
+)
+from repro.lint.diagnostics import LintReport
+
+
+def reassembled(clone, source, parameters=None, profile=None, stats=None):
+    """A CloneResult around edited assembly (same provenance)."""
+    program = assemble(source, name=clone.program.name)
+    return CloneResult(program=program, asm_source=source,
+                       profile=profile if profile is not None
+                       else clone.profile,
+                       parameters=parameters or clone.parameters,
+                       stats=clone.stats if stats is None else stats)
+
+
+def perturbed(clone, old, new, count=1):
+    source = clone.asm_source.replace(old, new, count)
+    assert source != clone.asm_source, f"pattern {old!r} not found"
+    return reassembled(clone, source)
+
+
+# ----------------------------------------------------------------------
+# Clean clones conform
+# ----------------------------------------------------------------------
+def test_unmodified_clone_is_clean(loop_nest_clone):
+    report = check_conformance(loop_nest_clone)
+    assert report.ok
+    assert len(report) == 0
+
+
+def test_lint_clone_end_to_end(loop_nest_clone):
+    report = lint_clone(loop_nest_clone)
+    assert report.ok
+    assert report.summary()["errors"] == 0
+
+
+def test_shape_recovery(loop_nest_clone):
+    report = LintReport("x")
+    shape = discover_shape(loop_nest_clone.program, report)
+    assert report.ok and shape is not None
+    assert shape.n_blocks == len(loop_nest_clone.stats["sequence"])
+    assert shape.loop_start < shape.tail_start <= shape.backedge
+    # the steady-state body covers the loop but skips reset paths
+    assert shape.body[0] == shape.loop_start
+    assert shape.body[-1] == shape.backedge
+
+
+def test_recover_pattern_roundtrip(loop_nest_clone):
+    shape_report = LintReport("x")
+    shape = discover_shape(loop_nest_clone.program, shape_report)
+    recovered = [recover_pattern(loop_nest_clone.program, k)
+                 for k in range(shape.n_blocks)]
+    assert all(pattern is None or isinstance(pattern, BranchPattern)
+               for pattern in recovered)
+    assert any(isinstance(pattern, BranchPattern) for pattern in recovered)
+
+
+# ----------------------------------------------------------------------
+# CF200: shape
+# ----------------------------------------------------------------------
+def test_non_clone_program_reports_cf200(loop_nest_program, loop_nest_clone):
+    impostor = CloneResult(program=loop_nest_program,
+                           asm_source="", profile=loop_nest_clone.profile,
+                           parameters=loop_nest_clone.parameters, stats={})
+    report = check_conformance(impostor)
+    assert report.codes().get("CF200") == 1
+    assert not report.ok
+
+
+# ----------------------------------------------------------------------
+# CF201: instruction mix
+# ----------------------------------------------------------------------
+def test_swapped_opcode_class_reports_cf201(loop_nest_clone):
+    # One body add becomes a mul: the per-block static histogram no
+    # longer matches the profiled mix for that block.
+    broken = perturbed(loop_nest_clone, "\n    add ", "\n    mul ")
+    report = check_conformance(broken)
+    assert "CF201" in report.codes()
+    assert not report.ok
+
+
+# ----------------------------------------------------------------------
+# CF202: dependency distances
+# ----------------------------------------------------------------------
+def test_perturbed_dep_histogram_reports_cf202(loop_nest_clone):
+    profile = loop_nest_clone.profile
+    # push all profiled dependency mass into the farthest bucket
+    hist = [0] * len(profile.global_dep_hist)
+    hist[-1] = 10_000
+    skewed = dataclasses.replace(profile, global_dep_hist=hist)
+    broken = CloneResult(program=loop_nest_clone.program,
+                         asm_source=loop_nest_clone.asm_source,
+                         profile=skewed,
+                         parameters=loop_nest_clone.parameters,
+                         stats=loop_nest_clone.stats)
+    report = check_conformance(broken)
+    assert "CF202" in report.codes()
+    # warning severity: divergence is reported but does not gate
+    assert report.ok
+
+
+# ----------------------------------------------------------------------
+# CF203: branch machinery
+# ----------------------------------------------------------------------
+def test_inverted_branch_reports_cf203(loop_nest_clone):
+    broken = perturbed(loop_nest_clone, "    beq r0, r0, ",
+                       "    bne r0, r0, ")
+    report = check_conformance(broken)
+    assert "CF203" in report.codes()
+    assert not report.ok
+
+
+# ----------------------------------------------------------------------
+# CF204: stream advances
+# ----------------------------------------------------------------------
+def test_wrong_pointer_advance_reports_cf204(loop_nest_clone):
+    clusters = [cluster for cluster in loop_nest_clone.stats["clusters"]
+                if "index" in cluster and "advance" in cluster]
+    assert clusters, "clone stats must declare stream clusters"
+    cluster = clusters[0]
+    pointer = 4 + cluster["index"]
+    old = f"addi r{pointer}, r{pointer}, {cluster['advance']}"
+    new = f"addi r{pointer}, r{pointer}, {cluster['advance'] + 32}"
+    broken = perturbed(loop_nest_clone, old, new)
+    report = check_conformance(broken)
+    assert "CF204" in report.codes()
+    assert not report.ok
+
+
+# ----------------------------------------------------------------------
+# CF205: footprint
+# ----------------------------------------------------------------------
+def test_footprint_mismatch_reports_cf205(loop_nest_clone):
+    inflated = dataclasses.replace(loop_nest_clone.parameters,
+                                   footprint_scale=1000.0)
+    broken = CloneResult(program=loop_nest_clone.program,
+                         asm_source=loop_nest_clone.asm_source,
+                         profile=loop_nest_clone.profile,
+                         parameters=inflated,
+                         stats=loop_nest_clone.stats)
+    report = check_conformance(broken)
+    assert "CF205" in report.codes()
+    assert not report.ok
+
+
+# ----------------------------------------------------------------------
+# Tolerances
+# ----------------------------------------------------------------------
+def test_zero_tolerances_fail_a_real_clone(loop_nest_clone):
+    impossible = ConformanceTolerances(
+        memory_fraction=0.0, branch_fraction=0.0, compute_fraction=0.0,
+        dep_tvd=0.0, taken_rate=0.0,
+        footprint_ratio_low=0.999, footprint_ratio_high=1.001)
+    report = check_conformance(loop_nest_clone, tolerances=impossible)
+    assert len(report) > 0
+
+
+def test_tolerances_are_frozen():
+    tolerances = ConformanceTolerances()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        tolerances.dep_tvd = 1.0

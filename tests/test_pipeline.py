@@ -5,7 +5,7 @@ import pytest
 
 from repro.isa import assemble
 from repro.sim import run_program
-from repro.uarch import BASE_CONFIG, MachineConfig, simulate_pipeline
+from repro.uarch import BASE_CONFIG, simulate_pipeline
 from repro.uarch.cache import CacheConfig
 
 

@@ -2,7 +2,6 @@
 functional-unit contention, unpipelined divides, window pressure, and
 I-cache-driven fetch stalls."""
 
-import pytest
 
 from repro.isa import assemble
 from repro.sim import run_program

@@ -5,7 +5,6 @@ import pytest
 from repro.core import profile_program, profile_trace
 from repro.core.profile import DEP_BUCKETS, NUM_DEP_BUCKETS, dep_bucket
 from repro.isa import assemble
-from repro.isa.instructions import IClass
 from repro.sim import run_program
 
 

@@ -1,5 +1,7 @@
 """Unit tests for Program, basic-block discovery, and the disassembler."""
 
+import pytest
+
 from repro.isa import assemble, disassemble
 from repro.isa.assembler import TEXT_BASE
 from repro.isa.instructions import IClass
@@ -82,3 +84,46 @@ class TestDisassembler:
         text = disassemble(sum_program)
         assert "loop:" in text
         assert "halt" in text
+
+
+class TestBlockDiscoveryGuards:
+    """Edge cases: empty programs, bad targets, branch-as-last-instr."""
+
+    def test_block_of_empty_program_raises_cleanly(self):
+        from repro.isa.program import Program
+        program = Program([], name="empty")
+        assert program.basic_blocks() == []
+        with pytest.raises(IndexError, match="no instructions"):
+            program.block_of(0)
+
+    def test_block_of_out_of_range_raises_cleanly(self, sum_program):
+        with pytest.raises(IndexError, match="out of range"):
+            sum_program.block_of(len(sum_program) + 5)
+        with pytest.raises(IndexError, match="out of range"):
+            sum_program.block_of(-1)
+
+    def test_out_of_range_target_is_not_a_leader(self):
+        from repro.isa.instructions import Instruction
+        from repro.isa.program import Program
+        program = Program([
+            Instruction("addi", rd=5, rs1=0, imm=1),
+            Instruction("beq", rs1=5, rs2=0, target=42),
+            Instruction("halt"),
+        ], name="bad-target")
+        blocks = program.basic_blocks()
+        # partition stays valid: contiguous and covering
+        assert blocks[0].start == 0
+        assert blocks[-1].end == len(program)
+        assert all(0 <= program.block_of(i) < len(blocks)
+                   for i in range(len(program)))
+
+    def test_branch_as_last_instruction(self):
+        program = assemble("""
+    .text
+main:
+    addi r5, r0, 1
+    beq  r5, r0, main
+""", name="tail-branch")
+        blocks = program.basic_blocks()
+        assert blocks[-1].end == len(program)
+        assert program.block_of(len(program) - 1) == blocks[-1].bid
