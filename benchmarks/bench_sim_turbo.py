@@ -1,0 +1,182 @@
+"""Simulator-backend throughput: turbo vs the reference interpreter,
+plus the optimized pipeline hot loop vs ``run_reference``.
+
+Every timed pair is also an equality assertion — the turbo trace must be
+bit-identical to the interpreter's, and the optimized pipeline loop must
+reproduce ``run_reference``'s result field for field — so the recorded
+speedups are guaranteed to be numerics-preserving.
+
+Runs two ways:
+
+* under pytest-benchmark (the full 23-kernel corpus, persisted to
+  ``results/sim_turbo.{txt,json}`` for EXPERIMENTS.md);
+* as a script: ``python benchmarks/bench_sim_turbo.py --smoke`` runs a
+  four-kernel slice with the same assertions and *no* result files —
+  the cheap CI gate against codegen regressions.
+"""
+
+import dataclasses
+import time
+
+import numpy as np
+
+from repro.sim import FunctionalSimulator
+from repro.sim.turbo import turbo_program
+from repro.uarch import BASE_CONFIG
+from repro.uarch.pipeline import PipelineModel
+from repro.workloads import build_workload, workload_names
+
+from _shared import emit, run_once
+
+#: Functional cap: every corpus kernel completes well inside it.
+FUNCTIONAL_CAP = 5_000_000
+
+#: Pipeline-model instruction cap per kernel (long enough for stable
+#: MIPS, short enough that 23 reference runs stay in seconds).
+PIPELINE_CAP = 60_000
+
+SMOKE_NAMES = ["crc32", "sha", "qsort", "fft"]
+
+
+def _geomean(values):
+    return float(np.exp(np.mean(np.log(values))))
+
+
+def _timed_run(program, backend):
+    simulator = FunctionalSimulator(program, backend=backend)
+    start = time.perf_counter()
+    trace = simulator.run(max_instructions=FUNCTIONAL_CAP, trace=True)
+    return simulator, trace, time.perf_counter() - start
+
+
+def _functional_rows(names):
+    """Per-kernel interpreter vs turbo MIPS, asserting bit-identity.
+
+    Both backends are timed best-of-two on fresh simulator instances.
+    Turbo's first run compiles its translation units (the ``cold``
+    column — codegen rides on the program object, so every later
+    simulation of the same program reuses it); the ``turbo MIPS`` /
+    ``speedup`` columns are the warm steady state, which is what
+    profiling, compare/sweep grids, and the artifact-cache pipeline
+    actually pay.
+    """
+    rows = []
+    codegen_seconds = 0.0
+    for name in names:
+        program = build_workload(name)
+        interp_sim, interp_trace, interp_a = _timed_run(program, "interp")
+        _, _, interp_b = _timed_run(program, "interp")
+        interp_s = min(interp_a, interp_b)
+
+        turbo_sim, turbo_trace, cold_s = _timed_run(program, "turbo")
+        _, _, warm_a = _timed_run(program, "turbo")
+        _, _, warm_b = _timed_run(program, "turbo")
+        warm_s = min(warm_a, warm_b)
+
+        assert np.array_equal(interp_trace.pcs, turbo_trace.pcs)
+        assert np.array_equal(interp_trace.addrs, turbo_trace.addrs)
+        assert np.array_equal(interp_trace.taken, turbo_trace.taken)
+        assert interp_sim.regs == turbo_sim.regs
+        assert bytes(interp_sim.memory.data) == bytes(turbo_sim.memory.data)
+
+        compiled = turbo_program(turbo_sim)
+        codegen_seconds += compiled.codegen_seconds
+        instructions = interp_sim.instructions_executed
+        rows.append([name, instructions,
+                     instructions / interp_s / 1e6,
+                     instructions / cold_s / 1e6,
+                     instructions / warm_s / 1e6,
+                     interp_s / cold_s,
+                     interp_s / warm_s])
+    return rows, codegen_seconds
+
+
+def _result_fields(result):
+    fields = dataclasses.asdict(result)
+    fields.pop("wall_seconds")  # host timing, not a simulated number
+    return fields
+
+
+def _pipeline_rows(names):
+    """Optimized ``run`` vs ``run_reference`` on each kernel's trace."""
+    rows = []
+    for name in names:
+        trace = FunctionalSimulator(build_workload(name)).run(
+            max_instructions=FUNCTIONAL_CAP, trace=True)
+        reference = PipelineModel(BASE_CONFIG).run_reference(
+            trace, max_instructions=PIPELINE_CAP)
+        optimized = PipelineModel(BASE_CONFIG).run(
+            trace, max_instructions=PIPELINE_CAP)
+        assert _result_fields(optimized) == _result_fields(reference)
+        rows.append([name, optimized.instructions,
+                     optimized.instructions / reference.wall_seconds / 1e6,
+                     optimized.instructions / optimized.wall_seconds / 1e6,
+                     reference.wall_seconds / optimized.wall_seconds])
+    return rows
+
+
+def _measure(names):
+    functional_rows, codegen_seconds = _functional_rows(names)
+    pipeline_rows = _pipeline_rows(names)
+    return {
+        "functional_rows": functional_rows,
+        "pipeline_rows": pipeline_rows,
+        "functional_geomean": _geomean([row[6] for row in functional_rows]),
+        "functional_geomean_cold": _geomean(
+            [row[5] for row in functional_rows]),
+        "pipeline_geomean": _geomean([row[4] for row in pipeline_rows]),
+        "codegen_seconds": codegen_seconds,
+    }
+
+
+def _render(data):
+    from repro.evaluation import format_table
+    header = ["kernel", "instructions", "interp MIPS", "cold MIPS",
+              "turbo MIPS", "cold x", "speedup"]
+    text = "functional simulation (trace capture on):\n"
+    text += format_table(header, data["functional_rows"],
+                         float_format="{:.2f}")
+    text += (f"\n  geomean speedup: {data['functional_geomean']:.2f}x warm"
+             f" / {data['functional_geomean_cold']:.2f}x cold"
+             f"  (codegen warm-up total: "
+             f"{data['codegen_seconds'] * 1e3:.1f} ms)\n")
+    text += "\npipeline model (run_reference vs run):\n"
+    text += format_table(["kernel", "instructions", "reference MIPS",
+                          "optimized MIPS", "speedup"],
+                         data["pipeline_rows"], float_format="{:.2f}")
+    text += f"\n  geomean speedup: {data['pipeline_geomean']:.2f}x"
+    return text
+
+
+def _check_regression_floors(data):
+    """Loose floors: the targets are 3x / 1.3x; flag a real regression
+    without making the bench flaky on slow or noisy hosts."""
+    assert data["functional_geomean"] >= 2.0, data["functional_geomean"]
+    assert data["pipeline_geomean"] >= 1.1, data["pipeline_geomean"]
+
+
+def test_sim_turbo_speedups(benchmark):
+    data = run_once(benchmark, lambda: _measure(workload_names()))
+    _check_regression_floors(data)
+    emit("sim_turbo", _render(data), data=data)
+
+
+def main(argv=None):
+    import argparse
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="four-kernel equivalence/codegen gate; "
+                             "prints but persists nothing")
+    args = parser.parse_args(argv)
+    names = SMOKE_NAMES if args.smoke else workload_names()
+    data = _measure(names)
+    print(_render(data))
+    _check_regression_floors(data)
+    if not args.smoke:
+        emit("sim_turbo", _render(data), data=data)
+    print("\nsim-turbo bench OK "
+          f"({'smoke, ' if args.smoke else ''}{len(names)} kernels)")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,6 +27,10 @@ cache (``REPRO_CACHE_DIR``, disable with ``REPRO_CACHE=off``): a warm
 cache skips the functional simulations entirely and the run manifest
 records the cache hits/misses that produced the result.
 
+``--sim-backend {auto,turbo,interp}`` (or ``REPRO_SIM_BACKEND``) picks
+the functional-simulator engine; the resolved backend is part of every
+artifact cache key and appears in manifests and ``repro report``.
+
 Exit codes: 0 success, 1 runtime failure, 2 bad target, 3 load failure,
 4 lint findings (error severity, or any finding under ``lint --strict``).
 """
@@ -62,7 +66,7 @@ from repro.obs import (
     reset_telemetry,
     set_telemetry_enabled,
 )
-from repro.sim import SimulationError, run_program
+from repro.sim import BACKENDS, SimulationError, run_program
 from repro.uarch import (
     BASE_CONFIG,
     CACHE_SWEEP,
@@ -303,7 +307,8 @@ def cmd_compare(args, ctx):
         dcache_miss_rate_clone=clone.dcache_miss_rate,
         sim_mips_real=real.simulated_mips,
         sim_mips_clone=clone.simulated_mips,
-        rob_stalls_real=real.rob_stalls, rob_stalls_clone=clone.rob_stalls)
+        rob_stalls_real=real.rob_stalls, rob_stalls_clone=clone.rob_stalls,
+        sim_backend=artifacts.sim_backend)
     _note_cache(ctx)
     return EXIT_OK
 
@@ -340,7 +345,8 @@ def cmd_sweep(args, ctx):
                           [v - clone_mpi[0] for v in clone_mpi[1:]])
     ranks = pearson(rank_vector(real_mpi), rank_vector(clone_mpi))
     ctx.headline.update(pearson_relative_mpi=correlation,
-                        ranking_correlation=ranks)
+                        ranking_correlation=ranks,
+                        sim_backend=artifacts.sim_backend)
     ctx.emit(f"\npearson R (relative MPI): {correlation:+.3f}\n"
              f"ranking correlation:      {ranks:+.3f}")
     _note_cache(ctx)
@@ -432,6 +438,8 @@ def cmd_report(args, ctx):
         f"  git rev:     {prov.get('git_rev')}" if prov.get("git_rev")
         else None,
         f"  python:      {prov.get('python')}",
+        f"  sim backend: {prov.get('sim_backend')}" if prov.get("sim_backend")
+        else None,
         f"  created:     {prov.get('created_at')}",
         f"  wall time:   {data['wall_seconds']:.3f} s",
     ])))
@@ -487,6 +495,10 @@ def _add_global_flags(parser, suppress):
     parser.add_argument("--run-dir",
                         default=argparse.SUPPRESS if suppress else None,
                         help="write manifest.json into this directory")
+    parser.add_argument("--sim-backend", choices=BACKENDS,
+                        default=argparse.SUPPRESS if suppress else None,
+                        help="functional-simulator backend (default: "
+                             "REPRO_SIM_BACKEND env var, else auto)")
 
 
 def build_parser():
@@ -565,6 +577,10 @@ _HANDLERS = {
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    if getattr(args, "sim_backend", None):
+        # Exported (not just stored) so exec's worker processes and any
+        # library code resolving the backend see the same selection.
+        os.environ["REPRO_SIM_BACKEND"] = args.sim_backend
     if args.quiet:
         configure_logging(level=WARNING)
         set_telemetry_enabled(False)

@@ -24,6 +24,7 @@ from repro.obs.logging import get_logger
 from repro.obs.timing import span
 from repro.sim.functional import run_program
 from repro.sim.trace import DynamicTrace
+from repro.sim.turbo import resolve_backend
 
 _LOG = get_logger("repro.exec.artifacts")
 
@@ -42,24 +43,28 @@ class Artifacts:
     profile: object
     clone: object  # CloneResult
     clone_trace: object
+    #: Resolved functional-simulator backend that produced (or, on a
+    #: cache hit, originally produced) the traces: ``turbo``/``interp``.
+    sim_backend: str = "interp"
 
 
-def _build_artifacts(name, source, parameters, max_instructions):
-    """The cold path: run the whole pipeline from source."""
-    program = assemble(source, name=name)
-    trace = run_program(program, max_instructions=max_instructions)
+def _build_artifacts(program, name, parameters, max_instructions,
+                     sim_backend):
+    """The cold path: run the whole pipeline from the assembled program."""
+    trace = run_program(program, max_instructions=max_instructions,
+                        backend=sim_backend)
     profile = profile_trace(trace)
     clone = make_clone(profile, parameters)
     clone_trace = run_program(clone.program,
-                              max_instructions=max_instructions)
+                              max_instructions=max_instructions,
+                              backend=sim_backend)
     return Artifacts(name=name, program=program, trace=trace,
                      profile=profile, clone=clone,
-                     clone_trace=clone_trace)
+                     clone_trace=clone_trace, sim_backend=sim_backend)
 
 
-def _load_artifacts(meta, entry, name, source, parameters):
+def _load_artifacts(meta, entry, program, name, parameters):
     """Reconstitute a cached entry into live pipeline objects."""
-    program = assemble(source, name=name)
     trace = DynamicTrace.load(os.path.join(entry, "trace.npz"), program)
     profile = WorkloadProfile.load(os.path.join(entry, "profile.json"))
     with open(os.path.join(entry, "clone.s")) as handle:
@@ -72,7 +77,8 @@ def _load_artifacts(meta, entry, name, source, parameters):
         os.path.join(entry, "clone_trace.npz"), clone_program)
     return Artifacts(name=name, program=program, trace=trace,
                      profile=profile, clone=clone,
-                     clone_trace=clone_trace)
+                     clone_trace=clone_trace,
+                     sim_backend=meta.get("sim_backend", "interp"))
 
 
 def pipeline_artifacts(name, source, parameters,
@@ -85,15 +91,21 @@ def pipeline_artifacts(name, source, parameters,
     disabled one to force the cold path.
     """
     store = default_store() if store is None else store
-    key = artifact_key(name, source, parameters, max_instructions)
+    program = assemble(source, name=name)
+    # Resolve auto/env selection down to a concrete engine *before*
+    # keying, so mixed-backend runs can never alias in the cache.
+    sim_backend = resolve_backend(None, program)
+    key = artifact_key(name, source, parameters, max_instructions,
+                       sim_backend=sim_backend)
     cached = store.load(key)
     if cached is not None:
         meta, entry = cached
         try:
             with span("exec.artifacts.load"):
-                artifacts = _load_artifacts(meta, entry, name, source,
+                artifacts = _load_artifacts(meta, entry, program, name,
                                             parameters)
-            _LOG.debug("artifacts.hit", name=name, key=key)
+            _LOG.debug("artifacts.hit", name=name, key=key,
+                       sim_backend=artifacts.sim_backend)
             return artifacts
         except (OSError, KeyError, ValueError) as exc:
             # A concurrent eviction or partial entry: rebuild.
@@ -101,14 +113,15 @@ def pipeline_artifacts(name, source, parameters,
                          key=key, error=str(exc))
     # The cold pipeline runs unwrapped so its phase spans keep their
     # established manifest paths (``profile/...``, ``sim.run``, ...).
-    artifacts = _build_artifacts(name, source, parameters,
-                                 max_instructions)
+    artifacts = _build_artifacts(program, name, parameters,
+                                 max_instructions, sim_backend)
     meta = {
         "name": name,
         "clone_name": artifacts.clone.program.name,
         "clone_stats": artifacts.clone.stats,
         "parameters": repr(parameters),
         "max_instructions": max_instructions,
+        "sim_backend": sim_backend,
         "trace_instructions": len(artifacts.trace),
         "clone_trace_instructions": len(artifacts.clone_trace),
     }

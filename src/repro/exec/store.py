@@ -46,7 +46,7 @@ _LOG = get_logger("repro.exec.store")
 #: the validation) whenever trace/profile/clone serialization, the
 #: functional simulator, the profiler, or the synthesizer changes in a
 #: way that affects artifact content.
-ARTIFACT_SCHEMA_VERSION = 2  # v2: clone stats carry sequence/advance/lint
+ARTIFACT_SCHEMA_VERSION = 3  # v3: key + meta record the simulator backend
 
 META_FILENAME = "meta.json"
 _ENTRY_FILES = (META_FILENAME, "trace.npz", "clone_trace.npz",
@@ -70,12 +70,22 @@ def default_cache_dir(environ=None):
     return os.path.join(os.path.expanduser("~"), ".cache", "repro")
 
 
-def artifact_key(name, source, parameters, max_instructions):
-    """Content hash identifying one pipeline run's artifacts."""
+def artifact_key(name, source, parameters, max_instructions,
+                 sim_backend="interp"):
+    """Content hash identifying one pipeline run's artifacts.
+
+    ``sim_backend`` is the *resolved* functional-simulator backend
+    (``turbo``/``interp``, never ``auto``) that produced the traces.
+    The backends are bit-identical by contract, but keying on the
+    backend means a cached trace always says exactly which engine made
+    it and a backend bug can never alias into the other backend's
+    entries.
+    """
     material = "\x1f".join([
         f"schema={ARTIFACT_SCHEMA_VERSION}",
         f"name={name}",
         f"max_instructions={max_instructions}",
+        f"sim_backend={sim_backend}",
         f"parameters={parameters!r}",
         source,
     ])

@@ -168,7 +168,14 @@ def check_use_before_def(cfg, severity_overrides=None):
 
 
 def check_register_writes(program, severity_overrides=None):
-    """``SR105``: non-nop writes to the hardwired zero register."""
+    """``SR105``: non-nop writes to the hardwired zero register.
+
+    This includes link-writing jumps: ``jal r0, target`` names r0 as the
+    link destination, which a correct simulator must discard (the
+    interpreter once clobbered r0 here — the ``rd`` scan below is the
+    static-side guard for that class of bug).  ``jalr`` is covered by
+    the same ``instr.rd`` check.
+    """
     report = LintReport(program.name)
     for index, instr in enumerate(program.instructions):
         if instr.rd == ZERO_REG and not _is_nop(instr):

@@ -72,10 +72,19 @@ _OP_IDS = {name: i for i, name in enumerate([
 
 
 class FunctionalSimulator:
-    """Executes one program instance over a private memory image."""
+    """Executes one program instance over a private memory image.
 
-    def __init__(self, program, memory_size=None):
+    ``backend`` selects the execution engine: ``interp`` is this
+    module's per-instruction reference loop, ``turbo`` the
+    block-compiling backend in :mod:`repro.sim.turbo`, and ``auto``
+    (the default, also settable via ``REPRO_SIM_BACKEND``) picks turbo
+    for any program large enough to amortize codegen.  Both backends
+    are bit-identical; the choice only affects wall time.
+    """
+
+    def __init__(self, program, memory_size=None, backend=None):
         self.program = program
+        self.backend = backend
         kwargs = {"data_image": program.data_image,
                   "data_base": program.data_base}
         if memory_size is not None:
@@ -95,14 +104,24 @@ class FunctionalSimulator:
                                   instr.imm, instr.target))
 
     # ------------------------------------------------------------------
-    def run(self, max_instructions=50_000_000, trace=False):
+    def run(self, max_instructions=50_000_000, trace=False, backend=None):
         """Execute from the entry point until ``halt``.
 
         With ``trace=True`` returns a :class:`DynamicTrace`; otherwise
         returns the number of instructions executed.  Exceeding
         ``max_instructions`` raises :class:`SimulationError` (runaway
-        program — almost always an assembly bug).
+        program — almost always an assembly bug).  ``backend`` overrides
+        the instance/environment backend selection for this run.
         """
+        from repro.sim import turbo
+        resolved = turbo.resolve_backend(
+            backend if backend is not None else self.backend, self.program)
+        if resolved == "turbo":
+            return turbo.run_turbo(self, max_instructions, trace)
+        return self._run_interp(max_instructions, trace)
+
+    def _run_interp(self, max_instructions, trace):
+        """The per-instruction reference interpreter loop."""
         decoded = self._decoded
         regs = self.regs
         mem = self.memory.data
@@ -325,7 +344,8 @@ class FunctionalSimulator:
             elif op_id == 40:  # j
                 next_pc = target
             elif op_id == 41:  # jal
-                regs[rd] = TEXT_BASE + 4 * (pc + 1)
+                if rd:
+                    regs[rd] = TEXT_BASE + 4 * (pc + 1)
                 next_pc = target
             elif op_id == 42:  # jr
                 ret = regs[rs1]
@@ -388,6 +408,13 @@ class FunctionalSimulator:
                 takens_append(taken)
             pc = next_pc
 
+        self._finish_run(executed, wall_start, "interp")
+        if trace:
+            return DynamicTrace(self.program, pcs, addrs, takens)
+        return executed
+
+    def _finish_run(self, executed, wall_start, backend):
+        """Common run epilogue: final state plus backend-tagged telemetry."""
         self.instructions_executed = executed
         self.halted = True
         if REGISTRY.enabled:
@@ -396,12 +423,10 @@ class FunctionalSimulator:
             REGISTRY.counter("sim.instructions").inc(executed)
             REGISTRY.counter("sim.runs").inc()
             REGISTRY.gauge("sim.mips").set(throughput)
+            REGISTRY.gauge(f"sim.mips.{backend}").set(throughput)
             _LOG.debug("sim.run", program=self.program.name,
                        instructions=executed, wall_s=elapsed,
-                       mips=throughput)
-        if trace:
-            return DynamicTrace(self.program, pcs, addrs, takens)
-        return executed
+                       mips=throughput, backend=backend)
 
     def _cap_error(self, pc, executed, max_instructions):
         """Context-rich error for the instruction-cap (runaway) case."""
@@ -417,14 +442,17 @@ class FunctionalSimulator:
             pc=pc, instructions=executed, block=block)
 
 
-def run_program(program, max_instructions=50_000_000, trace=True):
+def run_program(program, max_instructions=50_000_000, trace=True,
+                backend=None):
     """One-shot convenience: execute ``program`` and return its trace.
 
     With ``trace=False`` returns the finished simulator instead (useful to
-    inspect final memory/registers in tests).
+    inspect final memory/registers in tests).  ``backend`` selects the
+    execution engine (``auto``/``turbo``/``interp``); see
+    :class:`FunctionalSimulator`.
     """
     from repro.obs.timing import span
-    simulator = FunctionalSimulator(program)
+    simulator = FunctionalSimulator(program, backend=backend)
     with span("sim.run"):
         result = simulator.run(max_instructions=max_instructions, trace=trace)
     return result if trace else simulator

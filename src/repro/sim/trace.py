@@ -27,6 +27,7 @@ class DynamicTrace:
         self.pcs = np.asarray(pcs, dtype=np.int32)
         self.addrs = np.asarray(addrs, dtype=np.int64)
         self.taken = np.asarray(taken, dtype=np.int8)
+        self._memory_mask = None
 
     def __len__(self):
         return len(self.pcs)
@@ -35,13 +36,24 @@ class DynamicTrace:
     def length(self):
         return len(self.pcs)
 
+    def _mem_mask(self):
+        """The ``addrs >= 0`` load/store mask, computed once per trace.
+
+        Every consumer below needs it and the trace is immutable, so it
+        is cached on first use instead of being recomputed per call.
+        """
+        mask = self._memory_mask
+        if mask is None:
+            mask = self._memory_mask = self.addrs >= 0
+        return mask
+
     def memory_indices(self):
         """Dynamic positions of all loads/stores."""
-        return np.nonzero(self.addrs >= 0)[0]
+        return np.nonzero(self._mem_mask())[0]
 
     def memory_addresses(self):
         """Effective addresses of all loads/stores, in dynamic order."""
-        return self.addrs[self.addrs >= 0]
+        return self.addrs[self._mem_mask()]
 
     def branch_indices(self):
         """Dynamic positions of all conditional branches."""
@@ -56,7 +68,7 @@ class DynamicTrace:
 
     def summary(self):
         """Human-oriented counts used in reports and tests."""
-        mem = int(np.count_nonzero(self.addrs >= 0))
+        mem = int(np.count_nonzero(self._mem_mask()))
         branches = int(np.count_nonzero(self.taken >= 0))
         taken = int(np.count_nonzero(self.taken == 1))
         return {

@@ -45,6 +45,11 @@ class TestKeying:
     def test_any_input_changes_key(self, other):
         assert artifact_key("x", "src", PARAMS, 10) != artifact_key(*other)
 
+    def test_sim_backend_changes_key(self):
+        # Mixed-backend runs may never alias in the cache.
+        assert artifact_key("x", "src", PARAMS, 10, sim_backend="turbo") \
+            != artifact_key("x", "src", PARAMS, 10, sim_backend="interp")
+
     def test_key_is_filesystem_safe(self):
         key = artifact_key("weird/name with spaces!", "s", PARAMS, 1)
         assert "/" not in key and " " not in key
@@ -66,6 +71,13 @@ class TestRoundTrip:
                                   getattr(warm.trace, attr))
             assert np.array_equal(getattr(cold.clone_trace, attr),
                                   getattr(warm.clone_trace, attr))
+
+    def test_sim_backend_recorded_and_round_tripped(self, store):
+        cold = build(store)
+        assert cold.sim_backend in ("turbo", "interp")
+        warm = build(store)
+        assert store.stats()["hits"] == 1
+        assert warm.sim_backend == cold.sim_backend
 
     def test_cached_clone_program_reassembles_identically(self, store):
         cold = build(store)

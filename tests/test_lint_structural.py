@@ -245,6 +245,17 @@ main:
 """, name="nop-ok")
         assert codes_of(check_register_writes(program)) == []
 
+    def test_jal_linking_through_zero_sr105(self):
+        # The assembler always links ``jal`` through r31, so build the
+        # rd=0 encoding directly: its link write names the hardwired
+        # zero register, the static shadow of the simulator bug where
+        # an unguarded link write clobbered r0.
+        from repro.isa.instructions import Instruction
+        from repro.isa.program import Program
+        program = Program([Instruction("jal", rd=0, target=1),
+                           Instruction("halt")], name="jal-r0")
+        assert codes_of(check_register_writes(program)) == ["SR105"]
+
 
 # ----------------------------------------------------------------------
 # SR106: memory bounds

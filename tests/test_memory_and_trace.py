@@ -82,6 +82,20 @@ class TestDynamicTrace:
         # 9 distinct words touched: 8 loads + 1 result store.
         assert trace.data_footprint(granularity=4) == 9
 
+    def test_memory_mask_cached_once(self, sum_program):
+        trace = run_program(sum_program)
+        assert trace._memory_mask is None  # computed lazily
+        mask = trace._mem_mask()
+        assert trace._mem_mask() is mask  # every later call reuses it
+        assert np.array_equal(mask, trace.addrs >= 0)
+
+    def test_mask_consumers_agree_after_caching(self, sum_program):
+        trace = run_program(sum_program)
+        indices = trace.memory_indices()
+        assert np.array_equal(trace.addrs[indices],
+                              trace.memory_addresses())
+        assert trace.summary()["memory_ops"] == len(indices)
+
     def test_save_load_round_trip(self, tmp_path, sum_program):
         trace = run_program(sum_program)
         path = tmp_path / "trace.npz"

@@ -1,0 +1,334 @@
+"""Backend differential-equivalence suite: turbo vs the interpreter.
+
+The block-compiling backend (`repro.sim.turbo`) promises *bit-identity*
+with the reference interpreter.  This suite enforces the whole contract:
+
+* identical trace arrays, final registers, memory images, and retired
+  counts on all 23 corpus kernels and a synthesized clone;
+* identical `SimulationError` semantics — the instruction cap (including
+  a cap that lands exactly on a translation-unit boundary), memory
+  range errors, and pc-out-of-range context;
+* identical heartbeat telemetry, including the edge case where the
+  heartbeat boundary coincides with ``max_instructions``.
+
+It doubles as the tier-1 CI gate for codegen regressions.
+"""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.isa import assemble
+from repro.isa.instructions import Instruction
+from repro.isa.program import Program
+from repro.obs import logging as obslog
+from repro.sim import (
+    BACKENDS,
+    FunctionalSimulator,
+    SimulationError,
+    resolve_backend,
+    run_program,
+)
+from repro.sim import functional
+from repro.sim.turbo import AUTO_MIN_STATIC, turbo_program
+from repro.workloads import build_workload, workload_names
+
+KERNELS = workload_names()
+
+
+def _run(program, backend, max_instructions=5_000_000, trace=True):
+    simulator = FunctionalSimulator(program, backend=backend)
+    result = simulator.run(max_instructions=max_instructions, trace=trace)
+    return simulator, result
+
+
+def assert_equivalent(program, max_instructions=5_000_000):
+    """Run both backends and compare every architected observable."""
+    interp, interp_trace = _run(program, "interp", max_instructions)
+    turbo, turbo_trace = _run(program, "turbo", max_instructions)
+    assert np.array_equal(interp_trace.pcs, turbo_trace.pcs)
+    assert np.array_equal(interp_trace.addrs, turbo_trace.addrs)
+    assert np.array_equal(interp_trace.taken, turbo_trace.taken)
+    assert interp.regs == turbo.regs
+    assert bytes(interp.memory.data) == bytes(turbo.memory.data)
+    assert interp.instructions_executed == turbo.instructions_executed
+    assert interp.halted and turbo.halted
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+class TestResolveBackend:
+    def test_explicit_choices_pass_through(self):
+        assert resolve_backend("turbo") == "turbo"
+        assert resolve_backend("interp") == "interp"
+
+    def test_env_var_consulted_when_unset(self):
+        assert resolve_backend(None, environ={"REPRO_SIM_BACKEND":
+                                              "interp"}) == "interp"
+        assert resolve_backend(None, environ={"REPRO_SIM_BACKEND":
+                                              " TURBO "}) == "turbo"
+
+    def test_auto_prefers_turbo_for_real_programs(self):
+        program = build_workload("crc32")
+        assert resolve_backend("auto", program) == "turbo"
+        assert resolve_backend(None, program, environ={}) == "turbo"
+
+    def test_auto_keeps_tiny_programs_on_the_interpreter(self):
+        tiny = assemble("    .text\nmain:\n    halt\n", name="tiny")
+        assert len(tiny.instructions) < AUTO_MIN_STATIC
+        assert resolve_backend("auto", tiny) == "interp"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown simulator backend"):
+            resolve_backend("bogus")
+        with pytest.raises(ValueError, match="bogus"):
+            run_program(build_workload("crc32"), backend="bogus")
+
+    def test_backends_tuple_is_the_cli_contract(self):
+        assert BACKENDS == ("auto", "turbo", "interp")
+
+
+# ----------------------------------------------------------------------
+# Corpus-wide differential equivalence
+# ----------------------------------------------------------------------
+class TestCorpusEquivalence:
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_kernel_bit_identical(self, name):
+        assert_equivalent(build_workload(name))
+
+    def test_clone_bit_identical(self, loop_nest_clone):
+        assert_equivalent(loop_nest_clone.program,
+                          max_instructions=2_000_000)
+
+    def test_traceless_run_matches(self, loop_nest_program):
+        interp, interp_count = _run(loop_nest_program, "interp",
+                                    trace=False)
+        turbo, turbo_count = _run(loop_nest_program, "turbo", trace=False)
+        assert interp_count == turbo_count
+        assert interp.regs == turbo.regs
+        assert bytes(interp.memory.data) == bytes(turbo.memory.data)
+
+    def test_codegen_is_cached_per_program(self, loop_nest_program):
+        simulator = FunctionalSimulator(loop_nest_program)
+        simulator.run(trace=True, backend="turbo")
+        compiled = turbo_program(simulator)
+        units_after_first = compiled.units_compiled
+        assert units_after_first > 0
+        again = FunctionalSimulator(loop_nest_program)
+        again.run(trace=True, backend="turbo")
+        assert turbo_program(again) is compiled
+        assert compiled.units_compiled == units_after_first
+
+
+# ----------------------------------------------------------------------
+# Error-path equivalence
+# ----------------------------------------------------------------------
+def _error_from(program, backend, max_instructions=5_000_000):
+    simulator = FunctionalSimulator(program, backend=backend)
+    with pytest.raises(SimulationError) as excinfo:
+        simulator.run(max_instructions=max_instructions, trace=True)
+    return excinfo.value
+
+
+def _same_error(program, max_instructions=5_000_000):
+    interp = _error_from(program, "interp", max_instructions)
+    turbo = _error_from(program, "turbo", max_instructions)
+    assert str(interp) == str(turbo)
+    assert interp.pc == turbo.pc
+    assert interp.instructions == turbo.instructions
+    assert interp.block == turbo.block
+    return interp
+
+
+class TestErrorEquivalence:
+    @pytest.mark.parametrize("cap", [1, 2, 7, 100, 12_345])
+    def test_cap_exceeded_mid_run(self, loop_nest_program, cap):
+        error = _same_error(loop_nest_program, max_instructions=cap)
+        assert "instruction cap exceeded" in str(error)
+        assert error.instructions == cap + 1
+
+    def test_cap_exactly_on_unit_boundary(self):
+        # A 3-instruction loop body: every unit dispatch retires exactly
+        # 3 instructions, so a cap that is a multiple of 3 is reached
+        # exactly as a unit completes and exceeded on the next unit's
+        # first instruction — the accounting both backends must agree on.
+        program = assemble("""
+    .text
+main:
+    li   r5, 0
+loop:
+    addi r5, r5, 1
+    j    loop
+""", name="spin")
+        for cap in (30, 31, 32):
+            error = _same_error(program, max_instructions=cap)
+            assert error.instructions == cap + 1
+
+    def test_cap_reached_but_not_exceeded_is_clean(self):
+        # A cap of exactly the program's retired count: clean completion
+        # in both backends (the cap triggers only when *exceeded*).
+        program = assemble(SPIN_SOURCE.format(iters=9), name="exact")
+        reference, _ = _run(program, "interp")
+        total = reference.instructions_executed
+        for backend in ("interp", "turbo"):
+            simulator, _ = _run(program, backend, max_instructions=total)
+            assert simulator.instructions_executed == total
+
+    def test_memory_out_of_range(self):
+        program = assemble("""
+    .text
+main:
+    lui  r5, 65535
+    lw   r6, 0(r5)
+    halt
+""", name="oob")
+        interp = _error_from(program, "interp")
+        turbo = _error_from(program, "turbo")
+        assert str(interp) == str(turbo)
+        assert "lw out of range" in str(interp)
+
+    def test_pc_out_of_range_via_indirect_jump(self):
+        program = assemble("""
+    .text
+main:
+    li   r5, 4
+    jr   r5
+    halt
+""", name="badjr")
+        interp = _error_from(program, "interp")
+        turbo = _error_from(program, "turbo")
+        assert str(interp) == str(turbo)
+        assert "pc out of range" in str(interp)
+        assert interp.pc == turbo.pc
+        assert interp.instructions == turbo.instructions
+
+
+# ----------------------------------------------------------------------
+# Heartbeat / cap interaction (satellite: check_limit edge cases)
+# ----------------------------------------------------------------------
+@pytest.fixture
+def log_sink():
+    from repro.obs.metrics import REGISTRY
+    buffer = io.StringIO()
+    old_level = obslog.current_level()
+    old_stream = obslog._CONFIG.stream
+    old_json = obslog._CONFIG.json_lines
+    was_enabled = REGISTRY.enabled
+    REGISTRY.enable()  # heartbeats are gated on telemetry being on
+    obslog.configure(level=obslog.INFO, stream=buffer, json_lines=True)
+    yield buffer
+    obslog.configure(level=old_level, json_lines=old_json)
+    obslog._CONFIG.stream = old_stream
+    if not was_enabled:
+        REGISTRY.disable()
+
+
+def _heartbeats(buffer):
+    events = []
+    for line in buffer.getvalue().splitlines():
+        record = json.loads(line)
+        if record["event"] == "sim.heartbeat":
+            events.append((record["instructions"], record["pc"]))
+    return events
+
+
+#: Counted spin loop; ``.format(iters=N)`` sets the iteration count
+#: (total retired = 2 setup + 2*N loop + 1 halt).
+SPIN_SOURCE = """
+    .text
+main:
+    li   r5, 0
+    li   r6, {iters}
+loop:
+    addi r5, r5, 1
+    blt  r5, r6, loop
+    halt
+"""
+
+
+class TestHeartbeatEquivalence:
+    @pytest.mark.parametrize("backend", ["interp", "turbo"])
+    def test_heartbeat_fires_at_interval(self, log_sink, monkeypatch,
+                                         backend):
+        monkeypatch.setattr(functional, "HEARTBEAT_INTERVAL", 1000)
+        program = assemble(SPIN_SOURCE.format(iters=4000), name="hb")
+        _run(program, backend, max_instructions=10_000)
+        events = _heartbeats(log_sink)
+        assert events
+        assert [instructions for instructions, _pc in events] == [
+            1000 * (i + 1) for i in range(len(events))]
+
+    def test_heartbeat_streams_identical(self, log_sink, monkeypatch):
+        monkeypatch.setattr(functional, "HEARTBEAT_INTERVAL", 997)
+        program = assemble(SPIN_SOURCE.format(iters=5000), name="hb-diff")
+        _, interp_trace = _run(program, "interp", max_instructions=500_000)
+        interp_events = _heartbeats(log_sink)
+        log_sink.truncate(0)
+        log_sink.seek(0)
+        _, turbo_trace = _run(program, "turbo", max_instructions=500_000)
+        assert _heartbeats(log_sink) == interp_events
+        assert interp_events  # the run is long enough to heartbeat
+        assert np.array_equal(interp_trace.pcs, turbo_trace.pcs)
+
+    @pytest.mark.parametrize("backend", ["interp", "turbo"])
+    def test_heartbeat_boundary_equals_cap(self, log_sink, monkeypatch,
+                                           backend):
+        # next_heartbeat == max_instructions: the heartbeat at N retires
+        # fires (N is within the cap), and the cap error follows at N+1.
+        monkeypatch.setattr(functional, "HEARTBEAT_INTERVAL", 2000)
+        program = assemble(SPIN_SOURCE.format(iters=2000), name="hb-cap")
+        error = _error_from(program, backend, max_instructions=2000)
+        assert error.instructions == 2001
+        events = _heartbeats(log_sink)
+        assert [instructions for instructions, _pc in events] == [2000]
+
+    def test_heartbeat_boundary_equals_cap_identical(self, log_sink,
+                                                     monkeypatch):
+        monkeypatch.setattr(functional, "HEARTBEAT_INTERVAL", 2000)
+        program = assemble(SPIN_SOURCE.format(iters=2000),
+                           name="hb-cap-diff")
+        interp = _error_from(program, "interp", max_instructions=2000)
+        interp_events = _heartbeats(log_sink)
+        log_sink.truncate(0)
+        log_sink.seek(0)
+        turbo = _error_from(program, "turbo", max_instructions=2000)
+        assert str(interp) == str(turbo)
+        assert _heartbeats(log_sink) == interp_events
+
+
+# ----------------------------------------------------------------------
+# jal link-register regression (satellite: the rd=0 guard)
+# ----------------------------------------------------------------------
+class TestJalZeroLink:
+    @pytest.mark.parametrize("backend", ["interp", "turbo"])
+    def test_jal_with_rd_zero_keeps_zero_hardwired(self, backend):
+        # The assembler always links jal through r31; build the rd=0
+        # encoding directly, as a synthesizer bug or hand-built program
+        # could.  Pad past AUTO_MIN_STATIC so the auto heuristic is moot.
+        instructions = [Instruction("addi", rd=5, rs1=0, imm=7),
+                        Instruction("jal", rd=0, target=2)]
+        instructions += [Instruction("addi", rd=6, rs1=6, imm=1)
+                         for _ in range(20)]
+        instructions.append(Instruction("halt"))
+        program = Program(instructions, name="jal-r0")
+        simulator, _ = _run(program, backend)
+        assert simulator.regs[0] == 0
+        assert simulator.regs[5] == 7
+
+    def test_jal_links_through_real_register(self):
+        program = assemble("""
+    .text
+main:
+    jal  sub
+    halt
+sub:
+    jr   r31
+""", name="jal-link")
+        interp, interp_trace = _run(program, "interp")
+        turbo, turbo_trace = _run(program, "turbo")
+        assert interp.regs == turbo.regs
+        assert interp.regs[31] == program.text_base + 4
+        assert np.array_equal(interp_trace.pcs, turbo_trace.pcs)
