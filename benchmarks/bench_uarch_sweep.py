@@ -1,0 +1,187 @@
+"""Grid-sweep throughput: ``simulate_pipeline_sweep`` vs per-config
+``PipelineModel.run`` on the paper's evaluation grid (base config +
+Table 3 design changes + the Figure 8 width sweep — nine configs).
+
+Every timed pair is also an equality assertion — each swept config must
+reproduce the reference run field for field — so the recorded speedups
+are guaranteed to be numerics-preserving.
+
+Three sweep columns per kernel:
+
+* ``cold``  — nothing cached anywhere: digest + banks built, kernels
+  compiled, everything persisted to a fresh artifact store.  What the
+  first grid study over a new trace pays.
+* ``store`` — in-memory state dropped, artifact store warm: digests,
+  banks, and compiled kernels all load from disk.  What a re-run (or a
+  parallel worker in another process) pays.
+* ``warm``  — same-process re-sweep with memoization intact.  What the
+  second study in one ``repro exec`` invocation pays.
+
+Runs two ways:
+
+* under pytest-benchmark (the full 23-kernel corpus, persisted to
+  ``results/uarch_sweep.{txt,json}`` for EXPERIMENTS.md);
+* as a script: ``python benchmarks/bench_uarch_sweep.py --smoke`` runs
+  a four-kernel slice with the same assertions and *no* result files —
+  the cheap CI gate against sweep-engine regressions.
+"""
+
+import dataclasses
+import shutil
+import tempfile
+import time
+
+import numpy as np
+
+from repro.exec.store import ArtifactStore
+from repro.sim import FunctionalSimulator
+from repro.uarch import BASE_CONFIG, DESIGN_CHANGES
+from repro.uarch.pipeline import PipelineModel
+from repro.uarch.sweep import simulate_pipeline_sweep
+from repro.workloads import build_workload, workload_names
+
+from _shared import emit, run_once
+
+#: Functional cap: every corpus kernel completes well inside it.
+FUNCTIONAL_CAP = 5_000_000
+
+#: Timing-model instruction cap per config (matches the table3/fig8
+#: study defaults used in EXPERIMENTS.md).
+PIPELINE_CAP = 60_000
+
+#: The grid the paper's evaluation actually sweeps.
+GRID = ([BASE_CONFIG] + list(DESIGN_CHANGES)
+        + [BASE_CONFIG.renamed(f"width-{width}", width=width)
+           for width in (2, 4, 8)])
+
+SMOKE_NAMES = ["crc32", "sha", "qsort", "fft"]
+
+
+def _geomean(values):
+    return float(np.exp(np.mean(np.log(values))))
+
+
+def _result_fields(result):
+    fields = dataclasses.asdict(result)
+    fields.pop("wall_seconds")  # host timing, not a simulated number
+    return fields
+
+
+def _forget(trace):
+    """Drop in-memory sweep state so only the artifact store is warm."""
+    for holder, attribute in ((trace, "_sweep_digest"),
+                              (trace.program, "_sweep_static"),
+                              (trace.program, "_sweep_kernels")):
+        if hasattr(holder, attribute):
+            delattr(holder, attribute)
+
+
+def _sweep_rows(names, store):
+    """Per-kernel reference vs cold/store-warm/warm sweep timings."""
+    rows = []
+    for name in names:
+        trace = FunctionalSimulator(build_workload(name)).run(
+            max_instructions=FUNCTIONAL_CAP, trace=True)
+
+        start = time.perf_counter()
+        reference = [PipelineModel(config).run(
+            trace, max_instructions=PIPELINE_CAP) for config in GRID]
+        reference_s = time.perf_counter() - start
+
+        _forget(trace)
+        start = time.perf_counter()
+        cold = simulate_pipeline_sweep(trace, GRID,
+                                       max_instructions=PIPELINE_CAP,
+                                       store=store)
+        cold_s = time.perf_counter() - start
+
+        _forget(trace)
+        start = time.perf_counter()
+        store_warm = simulate_pipeline_sweep(
+            trace, GRID, max_instructions=PIPELINE_CAP, store=store)
+        store_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = simulate_pipeline_sweep(trace, GRID,
+                                       max_instructions=PIPELINE_CAP,
+                                       store=store)
+        warm_s = time.perf_counter() - start
+
+        for swept in (cold, store_warm, warm):
+            assert [_result_fields(result) for result in swept] \
+                == [_result_fields(result) for result in reference]
+
+        instructions = sum(result.instructions for result in reference)
+        rows.append([name, instructions,
+                     instructions / reference_s / 1e6,
+                     instructions / cold_s / 1e6,
+                     reference_s / cold_s,
+                     reference_s / store_s,
+                     reference_s / warm_s])
+    return rows
+
+
+def _measure(names):
+    staging = tempfile.mkdtemp(prefix="bench-uarch-sweep-")
+    try:
+        store = ArtifactStore(root=staging, enabled=True)
+        rows = _sweep_rows(names, store)
+    finally:
+        shutil.rmtree(staging, ignore_errors=True)
+    return {
+        "configs": [config.name for config in GRID],
+        "pipeline_cap": PIPELINE_CAP,
+        "rows": rows,
+        "geomean_cold": _geomean([row[4] for row in rows]),
+        "geomean_store": _geomean([row[5] for row in rows]),
+        "geomean_warm": _geomean([row[6] for row in rows]),
+    }
+
+
+def _render(data):
+    from repro.evaluation import format_table
+    header = ["kernel", "instructions", "run MIPS", "sweep MIPS",
+              "cold x", "store x", "warm x"]
+    text = (f"grid sweep ({len(data['configs'])} configs x "
+            f"{data['pipeline_cap']} instructions, run vs sweep):\n")
+    text += format_table(header, data["rows"], float_format="{:.2f}")
+    text += (f"\n  geomean speedup: {data['geomean_cold']:.2f}x cold"
+             f" / {data['geomean_store']:.2f}x store-warm"
+             f" / {data['geomean_warm']:.2f}x warm")
+    return text
+
+
+def _check_regression_floors(data):
+    """Loose floors: the cold target is 2x on the full corpus; flag a
+    real regression without making the bench flaky on noisy hosts."""
+    assert data["geomean_cold"] >= 1.5, data["geomean_cold"]
+    assert data["geomean_warm"] >= data["geomean_cold"] * 0.8
+
+
+def test_uarch_sweep_speedups(benchmark):
+    data = run_once(benchmark, lambda: _measure(workload_names()))
+    _check_regression_floors(data)
+    assert data["geomean_cold"] >= 2.0, data["geomean_cold"]
+    emit("uarch_sweep", _render(data), data=data)
+
+
+def main(argv=None):
+    import argparse
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="four-kernel equivalence/speedup gate; "
+                             "prints but persists nothing")
+    args = parser.parse_args(argv)
+    names = SMOKE_NAMES if args.smoke else workload_names()
+    data = _measure(names)
+    print(_render(data))
+    _check_regression_floors(data)
+    if not args.smoke:
+        assert data["geomean_cold"] >= 2.0, data["geomean_cold"]
+        emit("uarch_sweep", _render(data), data=data)
+    print("\nuarch-sweep bench OK "
+          f"({'smoke, ' if args.smoke else ''}{len(names)} kernels)")
+
+
+if __name__ == "__main__":
+    main()

@@ -72,8 +72,9 @@ from repro.uarch import (
     CACHE_SWEEP,
     estimate_power,
     simulate_cache_sweep,
-    simulate_pipeline,
+    simulate_pipeline_sweep,
 )
+from repro.uarch.sweep import reset_sweep_stats
 from repro.workloads import all_workloads, build_workload, get_workload, workload_names
 
 _LOG = get_logger("repro.cli")
@@ -202,7 +203,12 @@ def _chunks(items, n):
 def _compare_sim_worker(state, which):
     real_trace, clone_trace, config = state
     trace = real_trace if which == "real" else clone_trace
-    return which, simulate_pipeline(trace, config)
+    # A one-config grid: digests, outcome banks, and compiled kernels
+    # persist through the artifact store, so repeat compares skip
+    # straight to scheduling — and the run manifest picks up the
+    # sweep-reuse accounting.
+    [result] = simulate_pipeline_sweep(trace, [config])
+    return which, result
 
 
 def _sweep_chunk_worker(state, configs):
@@ -455,6 +461,11 @@ def cmd_report(args, ctx):
         ctx.emit("\nphases:\n" + format_table(
             ["phase", "count", "wall ms", "cpu ms"], rows,
             float_format="{:.2f}"))
+    if data.get("sweep"):
+        sweep = data["sweep"]
+        rows = [[key, sweep[key]] for key in sorted(sweep)]
+        ctx.emit("\nuarch sweep reuse:\n" + format_table(
+            ["stat", "value"], rows, float_format="{:.4f}"))
     if data.get("lint"):
         lint = data["lint"]
         verdict = "PASS" if not lint.get("errors") else "FAIL"
@@ -589,6 +600,7 @@ def main(argv=None):
             configure_logging(level=DEBUG)
         set_telemetry_enabled(True)
     reset_telemetry()
+    reset_sweep_stats()
     default_store().reset_counters()
 
     ctx = RunContext(args)

@@ -67,11 +67,11 @@ class WorkloadProfiler:
                 dyn_class, minlength=IClass.COUNT).tolist()
 
             with span("sfg_build"):
-                ctx_of_instr, visit_blocks = self._flow_graph(
-                    profile, tables, pcs, program)
+                ctx_of_instr, visit_blocks, ctx_keys, n_blocks = \
+                    self._flow_graph(profile, tables, pcs, program)
             with span("dependencies"):
                 self._dependencies(profile, tables, pcs, ctx_of_instr,
-                                   visit_blocks, program)
+                                   ctx_keys, n_blocks)
             with span("stride_mining"):
                 self._memory_streams(profile, trace)
             with span("branches"):
@@ -129,13 +129,15 @@ class WorkloadProfiler:
             profile.contexts[(pred, succ)] = ContextStats(
                 pred=pred, block=succ, visits=int(count),
                 dep_hist=[0] * NUM_DEP_BUCKETS)
-        self._ctx_keys = unique_keys
-        self._n_blocks = n_blocks
-        return dense_ctx[visit_of_instr], visit_blocks
+        # Context tables travel by value to _dependencies (not through
+        # instance attributes) so one profiler can serve interleaved or
+        # concurrent profiles.
+        return dense_ctx[visit_of_instr], visit_blocks, \
+            unique_keys, n_blocks
 
     # ------------------------------------------------------------------
-    def _dependencies(self, profile, tables, pcs, ctx_of_instr, visit_blocks,
-                      program):
+    def _dependencies(self, profile, tables, pcs, ctx_of_instr,
+                      ctx_keys, n_blocks):
         """Register producer→consumer distances, bucketed per context.
 
         For every architected register we collect its dynamic write
@@ -145,7 +147,7 @@ class WorkloadProfiler:
         """
         dyn_dst = tables.dst[pcs]
         source_columns = (tables.src1[pcs], tables.src2[pcs])
-        n_ctx = len(self._ctx_keys)
+        n_ctx = len(ctx_keys)
         ctx_hist = np.zeros(n_ctx * NUM_DEP_BUCKETS, dtype=np.int64)
         bucket_bounds = np.asarray(DEP_BUCKETS)
 
@@ -171,9 +173,9 @@ class WorkloadProfiler:
 
         ctx_hist = ctx_hist.reshape(n_ctx, NUM_DEP_BUCKETS)
         profile.global_dep_hist = ctx_hist.sum(axis=0).tolist()
-        for ctx_index, key in enumerate(self._ctx_keys):
-            pred = int(key // self._n_blocks) - 1
-            succ = int(key % self._n_blocks)
+        for ctx_index, key in enumerate(ctx_keys):
+            pred = int(key // n_blocks) - 1
+            succ = int(key % n_blocks)
             profile.contexts[(pred, succ)].dep_hist = (
                 ctx_hist[ctx_index].tolist())
 

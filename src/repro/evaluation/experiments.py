@@ -14,7 +14,12 @@ work is fanned out over a process pool via
 functions run in a plain loop, so serial and parallel results are
 bit-identical.  Cache sweeps replay each address stream against all
 configurations in one batched pass (:func:`simulate_cache_sweep`)
-instead of re-converting and re-walking the stream per configuration.
+instead of re-converting and re-walking the stream per configuration,
+and pipeline grids go through :func:`simulate_pipeline_sweep`, which
+digests each trace once and shares cache/predictor outcome banks and
+compiled scheduling kernels across the whole configuration grid (bit-
+identical to per-config ``PipelineModel.run`` by construction and by
+differential test).
 """
 
 from repro.core.baseline import MicroarchDependentSynthesizer
@@ -24,8 +29,8 @@ from repro.sim.functional import run_program
 from repro.uarch.branch_predictors import simulate_predictor
 from repro.uarch.cache import simulate_cache_sweep
 from repro.uarch.config import BASE_CONFIG, CACHE_SWEEP, DESIGN_CHANGES
-from repro.uarch.pipeline import simulate_pipeline
 from repro.uarch.power import PowerModel
+from repro.uarch.sweep import simulate_pipeline_sweep
 from repro.evaluation.metrics import (
     mean_absolute_percentage_error,
     pearson,
@@ -160,10 +165,12 @@ def _base_config_worker(task):
     name, config, max_instructions = task
     artifacts = workload_artifacts(name)
     power_model = PowerModel(config)
-    real = simulate_pipeline(artifacts.trace, config,
-                             max_instructions=max_instructions)
-    clone = simulate_pipeline(artifacts.clone_trace, config,
-                              max_instructions=max_instructions)
+    # A one-config "grid": the sweep path shares its digest and outcome
+    # banks with the wider studies through the artifact store.
+    [real] = simulate_pipeline_sweep(artifacts.trace, [config],
+                                     max_instructions=max_instructions)
+    [clone] = simulate_pipeline_sweep(artifacts.clone_trace, [config],
+                                      max_instructions=max_instructions)
     return {
         "name": name,
         "ipc_real": real.ipc,
@@ -202,13 +209,15 @@ def _design_change_worker(task):
     """
     name, configs, max_instructions = task
     artifacts = workload_artifacts(name)
+    # One sweep per trace digests it once and shares cache/predictor
+    # outcome banks across every config in the grid.
+    real_results = simulate_pipeline_sweep(
+        artifacts.trace, configs, max_instructions=max_instructions)
+    clone_results = simulate_pipeline_sweep(
+        artifacts.clone_trace, configs, max_instructions=max_instructions)
     rows = []
-    for config in configs:
+    for config, real, clone in zip(configs, real_results, clone_results):
         power_model = PowerModel(config)
-        real = simulate_pipeline(artifacts.trace, config,
-                                 max_instructions=max_instructions)
-        clone = simulate_pipeline(artifacts.clone_trace, config,
-                                  max_instructions=max_instructions)
         rows.append({
             "ipc_real": real.ipc, "ipc_clone": clone.ipc,
             "power_real": power_model.evaluate(real).total,

@@ -46,11 +46,13 @@ _LOG = get_logger("repro.exec.store")
 #: the validation) whenever trace/profile/clone serialization, the
 #: functional simulator, the profiler, or the synthesizer changes in a
 #: way that affects artifact content.
-ARTIFACT_SCHEMA_VERSION = 3  # v3: key + meta record the simulator backend
+ARTIFACT_SCHEMA_VERSION = 4  # v4: per-entry file manifests (sweep banks)
 
 META_FILENAME = "meta.json"
-_ENTRY_FILES = (META_FILENAME, "trace.npz", "clone_trace.npz",
-                "profile.json", "clone.s")
+#: File set of a classic pipeline entry; the default when an entry's
+#: meta predates per-entry manifests.
+_LEGACY_ENTRY_FILES = ("trace.npz", "clone_trace.npz",
+                       "profile.json", "clone.s")
 
 _FALSY = {"0", "off", "false", "no", "disabled"}
 
@@ -119,9 +121,15 @@ class ArtifactStore:
         return os.path.join(self.artifacts_dir, key)
 
     def has(self, key):
-        entry = self.entry_dir(key)
-        return all(os.path.exists(os.path.join(entry, filename))
-                   for filename in _ENTRY_FILES)
+        """Whether an entry exists (its meta manifest is present).
+
+        Entries declare their own payload files in ``meta["files"]``
+        (validated by :meth:`load`), so presence of the meta manifest
+        is the existence test — the store holds classic pipeline
+        entries and single-file sweep digest/bank/kernel entries alike.
+        """
+        return os.path.exists(
+            os.path.join(self.entry_dir(key), META_FILENAME))
 
     # ------------------------------------------------------------------
     def load(self, key):
@@ -144,6 +152,9 @@ class ArtifactStore:
                 raise ValueError(
                     f"schema {meta.get('schema_version')} != "
                     f"{ARTIFACT_SCHEMA_VERSION}")
+            for filename in meta.get("files", _LEGACY_ENTRY_FILES):
+                if not os.path.exists(os.path.join(entry, filename)):
+                    raise ValueError(f"missing payload file {filename}")
         except (OSError, ValueError, KeyError) as exc:
             _LOG.warning("store.corrupt", key=key, error=str(exc))
             shutil.rmtree(entry, ignore_errors=True)
@@ -173,6 +184,7 @@ class ArtifactStore:
             meta = dict(meta)
             meta["schema_version"] = ARTIFACT_SCHEMA_VERSION
             meta["key"] = key
+            meta["files"] = sorted(files)
             for filename, writer in files.items():
                 writer(os.path.join(staging, filename))
             with open(os.path.join(staging, META_FILENAME), "w") as handle:

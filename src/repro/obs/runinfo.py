@@ -22,7 +22,7 @@ import subprocess
 import sys
 import time
 
-MANIFEST_SCHEMA_VERSION = 1
+MANIFEST_SCHEMA_VERSION = 2  # v2: optional uarch sweep reuse block
 MANIFEST_FILENAME = "manifest.json"
 
 
@@ -79,6 +79,11 @@ class RunManifest:
     #: Static-analysis verdict summary (``repro.lint``): ``ok``/``errors``
     #: /``warnings``/``codes`` counts, or None when no lint ran.
     lint: dict = None
+    #: Multi-config sweep reuse accounting
+    #: (:func:`repro.uarch.sweep.sweep_stats_snapshot`): digest/bank
+    #: cache hits, distinct hierarchies/predictors per grid, per-config
+    #: wall time.  None when the run swept nothing.
+    sweep: dict = None
     provenance: dict = dataclasses.field(default_factory=provenance)
     schema_version: int = MANIFEST_SCHEMA_VERSION
 
@@ -88,12 +93,15 @@ class RunManifest:
         """Build a manifest from the global tracer/registry state."""
         from repro.obs.metrics import REGISTRY
         from repro.obs.timing import TRACER
+        from repro.uarch.sweep import sweep_stats_snapshot
+        sweep = sweep_stats_snapshot()
         return cls(command=command, target=target, seed=seed,
                    config_hash=config_hash(config) if config is not None
                    else None,
                    wall_seconds=wall_seconds, headline=dict(headline or {}),
                    phases=TRACER.flat(), metrics=REGISTRY.snapshot(),
-                   lint=dict(lint) if lint else None)
+                   lint=dict(lint) if lint else None,
+                   sweep=sweep if sweep.get("grids") else None)
 
     # ------------------------------------------------------------------
     def to_dict(self):
@@ -155,6 +163,7 @@ def validate_manifest(data):
         errors.append("wall_seconds is negative")
     expect("headline", dict)
     expect("lint", dict, required=False, nullable=True)
+    expect("sweep", dict, required=False, nullable=True)
     prov = expect("provenance", dict)
     if prov is not None:
         for key in ("python", "platform", "created_at"):

@@ -14,6 +14,8 @@ the microarchitecture-independent profiler and the timing models — the
 same information SimpleScalar's functional simulator feeds its tools.
 """
 
+import hashlib
+
 import numpy as np
 
 
@@ -28,6 +30,7 @@ class DynamicTrace:
         self.addrs = np.asarray(addrs, dtype=np.int64)
         self.taken = np.asarray(taken, dtype=np.int8)
         self._memory_mask = None
+        self._content_digest = None
 
     def __len__(self):
         return len(self.pcs)
@@ -58,6 +61,22 @@ class DynamicTrace:
     def branch_indices(self):
         """Dynamic positions of all conditional branches."""
         return np.nonzero(self.taken >= 0)[0]
+
+    def content_digest(self):
+        """sha256 over the three arrays, computed once per trace.
+
+        Identifies the trace *content* independently of how it was
+        produced; the sweep engine keys persisted digests and outcome
+        banks on it (together with a program fingerprint).
+        """
+        digest = self._content_digest
+        if digest is None:
+            hasher = hashlib.sha256()
+            hasher.update(np.ascontiguousarray(self.pcs).tobytes())
+            hasher.update(np.ascontiguousarray(self.addrs).tobytes())
+            hasher.update(np.ascontiguousarray(self.taken).tobytes())
+            digest = self._content_digest = hasher.hexdigest()
+        return digest
 
     def data_footprint(self, granularity=4):
         """Number of unique ``granularity``-byte data blocks touched."""

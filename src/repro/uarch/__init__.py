@@ -32,6 +32,11 @@ from repro.uarch.config import (
 )
 from repro.uarch.pipeline import PipelineModel, PipelineResult, simulate_pipeline
 from repro.uarch.power import PowerModel, estimate_power
+from repro.uarch.sweep import (
+    simulate_pipeline_sweep,
+    sweep_stats_snapshot,
+    trace_digest,
+)
 
 __all__ = [
     "AlwaysNotTaken",
@@ -57,4 +62,7 @@ __all__ = [
     "simulate_cache_sweep",
     "simulate_predictor",
     "simulate_pipeline",
+    "simulate_pipeline_sweep",
+    "sweep_stats_snapshot",
+    "trace_digest",
 ]

@@ -304,6 +304,106 @@ def simulate_cache_sweep(addresses, configs):
     return results
 
 
+# ----------------------------------------------------------------------
+# Per-access outcomes: the sweep engine's cache banks
+# ----------------------------------------------------------------------
+def _direct_mapped_hits(blocks, sets):
+    """Per-access hit flags for a direct-mapped power-of-two cache.
+
+    Same grouping argument as :func:`_direct_mapped_stats` — an access
+    hits iff the previous access to its set touched the same block —
+    but the per-set neighbour comparison is scattered back to stream
+    order instead of being reduced to a count.
+    """
+    n = len(blocks)
+    mask = sets - 1
+    set_index = blocks & mask
+    order = np.argsort(set_index, kind="stable")
+    grouped_blocks = blocks[order]
+    grouped_sets = set_index[order]
+    grouped_hits = np.zeros(n, dtype=bool)
+    grouped_hits[1:] = ((grouped_sets[1:] == grouped_sets[:-1])
+                        & (grouped_blocks[1:] == grouped_blocks[:-1]))
+    hits = np.empty(n, dtype=bool)
+    hits[order] = grouped_hits
+    return hits
+
+
+def _two_way_hits(blocks, sets):
+    """Per-access hit flags for a 2-way LRU power-of-two cache.
+
+    As in :func:`_two_way_stats`: consecutive duplicates within a set
+    are MRU hits, and on the deduplicated per-set stream an access hits
+    iff it equals the distinct block two back.  Both flag families are
+    scattered back through the stable sort order.
+    """
+    n = len(blocks)
+    mask = sets - 1
+    set_index = blocks & mask
+    order = np.argsort(set_index, kind="stable")
+    grouped_blocks = blocks[order]
+    grouped_sets = set_index[order]
+    duplicate = np.zeros(n, dtype=bool)
+    duplicate[1:] = ((grouped_sets[1:] == grouped_sets[:-1])
+                     & (grouped_blocks[1:] == grouped_blocks[:-1]))
+    keep = ~duplicate
+    deduped_blocks = grouped_blocks[keep]
+    deduped_sets = grouped_sets[keep]
+    lag2 = np.zeros(len(deduped_blocks), dtype=bool)
+    lag2[2:] = ((deduped_sets[2:] == deduped_sets[:-2])
+                & (deduped_blocks[2:] == deduped_blocks[:-2]))
+    grouped_hits = duplicate
+    grouped_hits[keep] = lag2
+    hits = np.empty(n, dtype=bool)
+    hits[order] = grouped_hits
+    return hits
+
+
+def _replay_block_hits(blocks, config):
+    """Per-access hit flags through the reference dict-LRU replay."""
+    n_sets = config.sets
+    ways = config.ways
+    line_sets = [dict() for _ in range(n_sets)]
+    is_pow2 = (n_sets & (n_sets - 1)) == 0
+    mask = n_sets - 1
+    hits = np.empty(len(blocks), dtype=bool)
+    for position, block in enumerate(blocks.tolist()):
+        line_set = (line_sets[block & mask] if is_pow2
+                    else line_sets[block % n_sets])
+        if block in line_set:
+            del line_set[block]  # refresh recency
+            line_set[block] = None
+            hits[position] = True
+            continue
+        hits[position] = False
+        if len(line_set) >= ways:
+            del line_set[next(iter(line_set))]
+        line_set[block] = None
+    return hits
+
+
+def per_access_hits(blocks, config):
+    """Hit/miss outcome of every access of a block-index stream.
+
+    ``blocks`` are line/block indices (addresses already shifted by the
+    configuration's line size, exactly what :class:`Cache` derives
+    internally).  Returns a boolean array aligned with the stream whose
+    ``False`` count equals ``simulate_cache``'s miss count; the sweep
+    engine turns these flags into per-access latency banks.  Geometry
+    fast paths match :func:`simulate_cache_sweep`.
+    """
+    blocks = np.asarray(blocks, dtype=np.int64)
+    if len(blocks) == 0:
+        return np.zeros(0, dtype=bool)
+    sets = config.sets
+    if sets & (sets - 1) == 0:
+        if config.ways == 1:
+            return _direct_mapped_hits(blocks, sets)
+        if config.ways == 2:
+            return _two_way_hits(blocks, sets)
+    return _replay_block_hits(blocks, config)
+
+
 class CacheHierarchy:
     """L1I + L1D + unified L2 with simple additive latencies."""
 

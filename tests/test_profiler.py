@@ -254,3 +254,21 @@ class TestProfileTraceEquivalence:
                                                    loop_nest_profile):
         direct = profile_trace(run_program(loop_nest_program))
         assert direct.to_dict() == loop_nest_profile.to_dict()
+
+
+class TestProfilerReentrancy:
+    def test_one_instance_profiles_many_traces(self, loop_nest_program,
+                                               sum_program):
+        # Regression: the profiler once stashed per-trace context tables
+        # on ``self``, so a second ``profile()`` call could read state
+        # left over from the first trace.  One instance interleaving two
+        # workloads must match fresh single-use profilers exactly.
+        from repro.core import WorkloadProfiler
+        traces = [run_program(loop_nest_program),
+                  run_program(sum_program)]
+        expected = [WorkloadProfiler().profile(trace).to_dict()
+                    for trace in traces]
+        shared = WorkloadProfiler()
+        for _ in range(2):  # interleave: A, B, A, B
+            for trace, fresh in zip(traces, expected):
+                assert shared.profile(trace).to_dict() == fresh

@@ -28,7 +28,8 @@ def test_compare_json_manifest_validates(capsys, monkeypatch):
     assert manifest["seed"] == 42
     assert isinstance(manifest["config_hash"], str) and manifest["config_hash"]
     for phase in ("profile/sfg_build", "profile/stride_mining",
-                  "synthesize/codegen", "sim.run", "uarch.pipeline"):
+                  "synthesize/codegen", "sim.run", "uarch.sweep",
+                  "uarch.sweep/uarch.pipeline"):
         assert manifest["phases"][phase]["wall_s"] >= 0.0
     assert manifest["metrics"]["sim.mips"]["value"] > 0.0
     assert manifest["metrics"]["pipeline.sim_mips"]["value"] > 0.0

@@ -1,0 +1,337 @@
+"""Sweep-engine differential suite: one-pass grids vs the reference.
+
+``simulate_pipeline_sweep`` promises *field-for-field identity* with
+``PipelineModel.run`` for every config in a grid.  This suite enforces
+the whole contract:
+
+* identical ``PipelineResult`` fields on all 23 corpus kernels and a
+  synthesized clone, across the base config, every paper design change,
+  and a superscalar width sweep;
+* identical results with and without telemetry, under a cap that lands
+  mid basic-block, and with no cap at all;
+* the interpreted fallback for traces that violate block structure;
+* digest/bank/kernel persistence round-trips through the artifact
+  store, including corrupt-entry tolerance;
+* serial vs ``--jobs`` grid studies produce identical JSON;
+* the vectorized predictor outcome banks match the scalar predictor
+  specification kind by kind.
+
+It doubles as the tier-1 CI gate for sweep-engine regressions.
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.evaluation import design_change_study
+from repro.exec.store import ArtifactStore
+from repro.obs.metrics import REGISTRY
+from repro.obs.runinfo import RunManifest, validate_manifest
+from repro.sim import FunctionalSimulator
+from repro.sim.trace import DynamicTrace
+from repro.uarch import (
+    BASE_CONFIG,
+    DESIGN_CHANGES,
+    simulate_pipeline,
+    simulate_pipeline_sweep,
+    trace_digest,
+)
+from repro.uarch.branch_predictors import (
+    simulate_predictor,
+    simulate_predictor_reference,
+)
+from repro.uarch.sweep import reset_sweep_stats, sweep_stats_snapshot
+from repro.workloads import build_workload, workload_names
+
+KERNELS = workload_names()
+
+#: The grids the paper's evaluation actually runs: base + Table 3's
+#: design changes + the Figure 8 width sweep.
+GRID = ([BASE_CONFIG] + list(DESIGN_CHANGES)
+        + [BASE_CONFIG.renamed(f"width-{width}", width=width)
+           for width in (2, 4, 8)])
+
+#: Enough instructions to exercise every structure (ROB/LSQ wrap,
+#: fetch-queue stalls, L2 traffic) while keeping the corpus run fast.
+CAP = 20_000
+
+
+def result_fields(result):
+    """Every comparable field of a PipelineResult (host timing aside)."""
+    data = dataclasses.asdict(result)
+    data.pop("wall_seconds")
+    data["class_counts"] = [int(count) for count in data["class_counts"]]
+    return data
+
+
+def assert_sweep_equivalent(trace, configs, max_instructions=CAP,
+                            store=None):
+    """Sweep the grid and compare each config against the reference."""
+    swept = simulate_pipeline_sweep(trace, configs,
+                                    max_instructions=max_instructions,
+                                    store=store)
+    assert len(swept) == len(configs)
+    for config, result in zip(configs, swept):
+        reference = simulate_pipeline(trace, config,
+                                      max_instructions=max_instructions)
+        assert result_fields(result) == result_fields(reference), \
+            f"sweep diverges from run for config {config.name!r}"
+
+
+_TRACES = {}
+
+
+def kernel_trace(name):
+    if name not in _TRACES:
+        program = build_workload(name)
+        _TRACES[name] = FunctionalSimulator(program).run(
+            max_instructions=5_000_000, trace=True)
+    return _TRACES[name]
+
+
+# ----------------------------------------------------------------------
+# Corpus-wide differential equivalence
+# ----------------------------------------------------------------------
+class TestCorpusEquivalence:
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_kernel_bit_identical(self, name):
+        assert_sweep_equivalent(kernel_trace(name), GRID)
+
+    def test_clone_bit_identical(self, loop_nest_clone_trace):
+        assert_sweep_equivalent(loop_nest_clone_trace, GRID)
+
+    def test_uncapped_trace(self, loop_nest_trace):
+        assert_sweep_equivalent(loop_nest_trace, GRID,
+                                max_instructions=None)
+
+    def test_cap_lands_mid_block(self, loop_nest_trace):
+        # 12345 is deliberately not a multiple of any block length, so
+        # the kernel must hand the final partial visit back to the
+        # interpreted path.
+        assert_sweep_equivalent(loop_nest_trace, GRID,
+                                max_instructions=12_345)
+
+    def test_empty_grid(self, loop_nest_trace):
+        assert simulate_pipeline_sweep(loop_nest_trace, []) == []
+
+    def test_results_follow_config_order(self, loop_nest_trace):
+        results = simulate_pipeline_sweep(loop_nest_trace, GRID,
+                                          max_instructions=CAP)
+        assert [result.config.name for result in results] \
+            == [config.name for config in GRID]
+
+
+# ----------------------------------------------------------------------
+# Telemetry parity
+# ----------------------------------------------------------------------
+class TestTelemetryParity:
+    def test_equivalent_with_metrics_enabled(self, loop_nest_trace):
+        # Stall/redirect counters are collected only while the registry
+        # is enabled; the sweep must mirror run() in both modes.
+        was_enabled = REGISTRY.enabled
+        REGISTRY.enable()
+        try:
+            assert_sweep_equivalent(loop_nest_trace, GRID[:4])
+        finally:
+            if not was_enabled:
+                REGISTRY.disable()
+
+    def test_stall_counters_populated(self, loop_nest_trace):
+        was_enabled = REGISTRY.enabled
+        REGISTRY.enable()
+        try:
+            [result] = simulate_pipeline_sweep(
+                loop_nest_trace, [BASE_CONFIG], max_instructions=CAP)
+        finally:
+            if not was_enabled:
+                REGISTRY.disable()
+        assert result.rob_stalls + result.lsq_stalls \
+            + result.fetch_queue_stalls + result.redirect_cycles > 0
+
+
+# ----------------------------------------------------------------------
+# Interpreted fallback
+# ----------------------------------------------------------------------
+class TestFallback:
+    @pytest.fixture()
+    def shifted_trace(self, loop_nest_trace):
+        # Dropping the first instruction makes the trace start mid-block,
+        # which violates the digest's block-walk invariant.
+        return DynamicTrace(loop_nest_trace.program,
+                            loop_nest_trace.pcs[1:].copy(),
+                            loop_nest_trace.addrs[1:].copy(),
+                            loop_nest_trace.taken[1:].copy())
+
+    def test_structure_violation_detected(self, shifted_trace):
+        assert not trace_digest(shifted_trace).blocks_ok
+
+    def test_fallback_is_still_exact(self, shifted_trace):
+        reset_sweep_stats()
+        assert_sweep_equivalent(shifted_trace, GRID[:4])
+        stats = sweep_stats_snapshot()
+        assert stats["fallback_configs"] == 4
+        assert stats["kernels_compiled"] == 0
+
+    def test_corpus_runs_never_fall_back(self, loop_nest_trace):
+        reset_sweep_stats()
+        simulate_pipeline_sweep(loop_nest_trace, GRID,
+                                max_instructions=CAP)
+        assert sweep_stats_snapshot()["fallback_configs"] == 0
+
+
+# ----------------------------------------------------------------------
+# Digest/bank/kernel persistence
+# ----------------------------------------------------------------------
+class TestPersistence:
+    def _forget(self, trace):
+        """Drop in-memory memoization so the store is the only cache."""
+        for holder, attr in ((trace, "_sweep_digest"),
+                             (trace.program, "_sweep_static"),
+                             (trace.program, "_sweep_kernels")):
+            if hasattr(holder, attr):
+                delattr(holder, attr)
+
+    def test_round_trip(self, loop_nest_trace, tmp_path):
+        store = ArtifactStore(root=str(tmp_path), enabled=True)
+        self._forget(loop_nest_trace)
+        reset_sweep_stats()
+        cold = simulate_pipeline_sweep(loop_nest_trace, GRID[:4],
+                                       max_instructions=CAP, store=store)
+        stats = sweep_stats_snapshot()
+        assert stats["digests_saved"] == 1
+        assert stats["cache_banks_saved"] >= 1
+        assert stats["pred_banks_saved"] >= 1
+        assert stats["kernels_saved"] >= 1
+
+        self._forget(loop_nest_trace)
+        reset_sweep_stats()
+        warm = simulate_pipeline_sweep(loop_nest_trace, GRID[:4],
+                                       max_instructions=CAP, store=store)
+        stats = sweep_stats_snapshot()
+        assert stats["digests_loaded"] == 1
+        assert stats["digests_built"] == 0
+        assert stats["cache_banks_loaded"] >= 1
+        assert stats["pred_banks_loaded"] >= 1
+        assert stats["kernels_loaded"] >= 1
+        assert stats["kernels_compiled"] == 0
+        assert [result_fields(result) for result in cold] \
+            == [result_fields(result) for result in warm]
+
+    def test_corrupt_entries_are_rebuilt(self, loop_nest_trace, tmp_path):
+        store = ArtifactStore(root=str(tmp_path), enabled=True)
+        self._forget(loop_nest_trace)
+        cold = simulate_pipeline_sweep(loop_nest_trace, GRID[:4],
+                                       max_instructions=CAP, store=store)
+        # Truncate every persisted payload to garbage.
+        clobbered = 0
+        for key, _, _ in store.entries():
+            entry = store.entry_dir(key)
+            for filename in os.listdir(entry):
+                if filename.endswith((".npz", ".marshal")):
+                    with open(os.path.join(entry, filename), "wb") as fh:
+                        fh.write(b"not a payload")
+                    clobbered += 1
+        assert clobbered > 0
+
+        self._forget(loop_nest_trace)
+        reset_sweep_stats()
+        recovered = simulate_pipeline_sweep(
+            loop_nest_trace, GRID[:4], max_instructions=CAP, store=store)
+        stats = sweep_stats_snapshot()
+        assert stats["digests_built"] == 1
+        assert stats["kernels_compiled"] >= 1
+        assert [result_fields(result) for result in cold] \
+            == [result_fields(result) for result in recovered]
+
+    def test_disabled_store_is_skipped(self, loop_nest_trace, tmp_path):
+        store = ArtifactStore(root=str(tmp_path), enabled=False)
+        self._forget(loop_nest_trace)
+        reset_sweep_stats()
+        assert_sweep_equivalent(loop_nest_trace, GRID[:2], store=store)
+        stats = sweep_stats_snapshot()
+        assert stats["digests_saved"] == 0
+        assert stats["kernels_saved"] == 0
+        assert store.entries() == []
+
+
+# ----------------------------------------------------------------------
+# Sweep reuse accounting
+# ----------------------------------------------------------------------
+class TestSweepStats:
+    def test_shared_banks_counted(self, loop_nest_trace):
+        reset_sweep_stats()
+        simulate_pipeline_sweep(loop_nest_trace, GRID,
+                                max_instructions=CAP)
+        stats = sweep_stats_snapshot()
+        assert stats["grids"] == 1
+        assert stats["configs"] == len(GRID)
+        # Width variants share the base cache hierarchy and predictor,
+        # so the banks must be deduplicated across the grid.
+        assert stats["distinct_hierarchies"] < len(GRID)
+        assert stats["distinct_predictors"] < len(GRID)
+        reused = (stats["digests_reused"] + stats["cache_banks_reused"]
+                  + stats["pred_banks_reused"] + stats["kernels_reused"])
+        assert reused > 0
+
+    def test_manifest_carries_sweep_block(self, loop_nest_trace):
+        reset_sweep_stats()
+        simulate_pipeline_sweep(loop_nest_trace, GRID[:2],
+                                max_instructions=CAP)
+        manifest = RunManifest.collect("test", target="loop-nest")
+        assert manifest.sweep is not None
+        assert manifest.sweep["grids"] == 1
+        assert validate_manifest(manifest.to_dict()) == []
+
+    def test_manifest_omits_sweep_when_none_ran(self):
+        reset_sweep_stats()
+        manifest = RunManifest.collect("test")
+        assert manifest.sweep is None
+        assert validate_manifest(manifest.to_dict()) == []
+
+
+# ----------------------------------------------------------------------
+# Grid studies: serial vs --jobs
+# ----------------------------------------------------------------------
+class TestStudyParallelism:
+    def test_design_change_study_jobs_invariant(self):
+        serial = design_change_study(["crc32"], max_instructions=CAP,
+                                     jobs=1)
+        parallel = design_change_study(["crc32"], max_instructions=CAP,
+                                       jobs=2)
+        assert json.dumps(serial, sort_keys=True, default=str) \
+            == json.dumps(parallel, sort_keys=True, default=str)
+
+
+# ----------------------------------------------------------------------
+# Vectorized predictors vs the scalar specification
+# ----------------------------------------------------------------------
+class TestPredictorEquivalence:
+    KINDS = ["nottaken", "taken", "bimodal", "gap", "gshare"]
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_loop_nest(self, kind, loop_nest_trace):
+        fast = simulate_predictor(loop_nest_trace, kind)
+        slow = simulate_predictor_reference(loop_nest_trace, kind)
+        assert fast.stats.lookups == slow.stats.lookups
+        assert fast.stats.mispredictions == slow.stats.mispredictions
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_corpus_kernel(self, kind):
+        trace = kernel_trace("qsort")
+        fast = simulate_predictor(trace, kind)
+        slow = simulate_predictor_reference(trace, kind)
+        assert fast.stats.lookups == slow.stats.lookups
+        assert fast.stats.mispredictions == slow.stats.mispredictions
+
+    @pytest.mark.parametrize("kind,kwargs", [
+        ("bimodal", {"entries": 64}),
+        ("gshare", {"history_bits": 6}),
+        ("gap", {"history_bits": 3, "pc_bits": 4}),
+    ])
+    def test_sized_variants(self, kind, kwargs, loop_nest_trace):
+        fast = simulate_predictor(loop_nest_trace, kind, **kwargs)
+        slow = simulate_predictor_reference(loop_nest_trace, kind,
+                                            **kwargs)
+        assert fast.stats.mispredictions == slow.stats.mispredictions
