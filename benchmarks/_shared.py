@@ -12,8 +12,10 @@ result file is always traceable to the code that produced it.
 import json
 import os
 import time
+from contextlib import contextmanager
 
 from repro.exec import default_store
+from repro.obs.journal import configure_journal, emit_event
 from repro.obs.runinfo import provenance
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -73,3 +75,29 @@ def run_once(benchmark, func):
                                 warmup_rounds=0)
     _LAST_WALL_SECONDS = time.perf_counter() - start
     return result
+
+
+@contextmanager
+def maybe_journal(name):
+    """Record this bench's run as an event journal when asked to.
+
+    With ``REPRO_BENCH_JOURNAL_DIR`` set (CI sets it on the smoke jobs),
+    the bench journals to ``$REPRO_BENCH_JOURNAL_DIR/<name>/`` — the
+    same ``journal-*.jsonl`` stream CLI runs record, so BENCH
+    trajectories are span-attributable via ``repro trace``.  Unset, the
+    bench runs exactly as before (no journal, no overhead).
+    """
+    base = os.environ.get("REPRO_BENCH_JOURNAL_DIR")
+    if not base:
+        yield None
+        return
+    run_dir = os.path.join(base, name)
+    configure_journal(run_dir, fresh=True)
+    emit_event("run_begin", command=f"bench:{name}", target=name)
+    start = time.perf_counter()
+    try:
+        yield run_dir
+    finally:
+        emit_event("run_end", exit_code=0,
+                   wall_seconds=round(time.perf_counter() - start, 6))
+        configure_journal(None)

@@ -16,17 +16,20 @@ Runs two ways:
 """
 
 import dataclasses
+import json
 import time
 
 import numpy as np
 
+from repro.obs.journal import emit_event
+from repro.obs.timing import TRACER
 from repro.sim import FunctionalSimulator
 from repro.sim.turbo import turbo_program
 from repro.uarch import BASE_CONFIG
 from repro.uarch.pipeline import PipelineModel
 from repro.workloads import build_workload, workload_names
 
-from _shared import emit, run_once
+from _shared import emit, maybe_journal, run_once
 
 #: Functional cap: every corpus kernel completes well inside it.
 FUNCTIONAL_CAP = 5_000_000
@@ -62,32 +65,37 @@ def _functional_rows(names):
     """
     rows = []
     codegen_seconds = 0.0
-    for name in names:
-        program = build_workload(name)
-        interp_sim, interp_trace, interp_a = _timed_run(program, "interp")
-        _, _, interp_b = _timed_run(program, "interp")
-        interp_s = min(interp_a, interp_b)
+    for index, name in enumerate(names):
+        with TRACER.span("bench.functional", kernel=name):
+            program = build_workload(name)
+            interp_sim, interp_trace, interp_a = _timed_run(program,
+                                                            "interp")
+            _, _, interp_b = _timed_run(program, "interp")
+            interp_s = min(interp_a, interp_b)
 
-        turbo_sim, turbo_trace, cold_s = _timed_run(program, "turbo")
-        _, _, warm_a = _timed_run(program, "turbo")
-        _, _, warm_b = _timed_run(program, "turbo")
-        warm_s = min(warm_a, warm_b)
+            turbo_sim, turbo_trace, cold_s = _timed_run(program, "turbo")
+            _, _, warm_a = _timed_run(program, "turbo")
+            _, _, warm_b = _timed_run(program, "turbo")
+            warm_s = min(warm_a, warm_b)
 
-        assert np.array_equal(interp_trace.pcs, turbo_trace.pcs)
-        assert np.array_equal(interp_trace.addrs, turbo_trace.addrs)
-        assert np.array_equal(interp_trace.taken, turbo_trace.taken)
-        assert interp_sim.regs == turbo_sim.regs
-        assert bytes(interp_sim.memory.data) == bytes(turbo_sim.memory.data)
+            assert np.array_equal(interp_trace.pcs, turbo_trace.pcs)
+            assert np.array_equal(interp_trace.addrs, turbo_trace.addrs)
+            assert np.array_equal(interp_trace.taken, turbo_trace.taken)
+            assert interp_sim.regs == turbo_sim.regs
+            assert bytes(interp_sim.memory.data) \
+                == bytes(turbo_sim.memory.data)
 
-        compiled = turbo_program(turbo_sim)
-        codegen_seconds += compiled.codegen_seconds
-        instructions = interp_sim.instructions_executed
-        rows.append([name, instructions,
-                     instructions / interp_s / 1e6,
-                     instructions / cold_s / 1e6,
-                     instructions / warm_s / 1e6,
-                     interp_s / cold_s,
-                     interp_s / warm_s])
+            compiled = turbo_program(turbo_sim)
+            codegen_seconds += compiled.codegen_seconds
+            instructions = interp_sim.instructions_executed
+            rows.append([name, instructions,
+                         instructions / interp_s / 1e6,
+                         instructions / cold_s / 1e6,
+                         instructions / warm_s / 1e6,
+                         interp_s / cold_s,
+                         interp_s / warm_s])
+        emit_event("progress", done=index + 1, total=len(names),
+                   unit="kernels", label=name)
     return rows, codegen_seconds
 
 
@@ -100,19 +108,26 @@ def _result_fields(result):
 def _pipeline_rows(names):
     """Optimized ``run`` vs ``run_reference`` on each kernel's trace."""
     rows = []
-    for name in names:
-        trace = FunctionalSimulator(build_workload(name)).run(
-            max_instructions=FUNCTIONAL_CAP, trace=True)
-        reference = PipelineModel(BASE_CONFIG).run_reference(
-            trace, max_instructions=PIPELINE_CAP)
-        optimized = PipelineModel(BASE_CONFIG).run(
-            trace, max_instructions=PIPELINE_CAP)
-        assert _result_fields(optimized) == _result_fields(reference)
-        rows.append([name, optimized.instructions,
-                     optimized.instructions / reference.wall_seconds / 1e6,
-                     optimized.instructions / optimized.wall_seconds / 1e6,
-                     reference.wall_seconds / optimized.wall_seconds])
+    for index, name in enumerate(names):
+        with TRACER.span("bench.pipeline", kernel=name):
+            rows.append(_pipeline_row(name))
+        emit_event("progress", done=index + 1, total=len(names),
+                   unit="pipeline kernels", label=name)
     return rows
+
+
+def _pipeline_row(name):
+    trace = FunctionalSimulator(build_workload(name)).run(
+        max_instructions=FUNCTIONAL_CAP, trace=True)
+    reference = PipelineModel(BASE_CONFIG).run_reference(
+        trace, max_instructions=PIPELINE_CAP)
+    optimized = PipelineModel(BASE_CONFIG).run(
+        trace, max_instructions=PIPELINE_CAP)
+    assert _result_fields(optimized) == _result_fields(reference)
+    return [name, optimized.instructions,
+            optimized.instructions / reference.wall_seconds / 1e6,
+            optimized.instructions / optimized.wall_seconds / 1e6,
+            reference.wall_seconds / optimized.wall_seconds]
 
 
 def _measure(names):
@@ -167,13 +182,22 @@ def main(argv=None):
     parser.add_argument("--smoke", action="store_true",
                         help="four-kernel equivalence/codegen gate; "
                              "prints but persists nothing")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the measured data as JSON "
+                             "(for benchmarks/check_regression.py)")
     args = parser.parse_args(argv)
     names = SMOKE_NAMES if args.smoke else workload_names()
-    data = _measure(names)
+    with maybe_journal("sim_turbo"):
+        data = _measure(names)
     print(_render(data))
     _check_regression_floors(data)
     if not args.smoke:
         emit("sim_turbo", _render(data), data=data)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump({"name": "sim_turbo", "data": data}, handle,
+                      indent=2)
+            handle.write("\n")
     print("\nsim-turbo bench OK "
           f"({'smoke, ' if args.smoke else ''}{len(names)} kernels)")
 

@@ -27,6 +27,7 @@ Runs two ways:
 """
 
 import dataclasses
+import json
 import shutil
 import tempfile
 import time
@@ -34,13 +35,15 @@ import time
 import numpy as np
 
 from repro.exec.store import ArtifactStore
+from repro.obs.journal import (configure_journal, emit_event,
+                               suspend_journal)
 from repro.sim import FunctionalSimulator
 from repro.uarch import BASE_CONFIG, DESIGN_CHANGES
 from repro.uarch.pipeline import PipelineModel
 from repro.uarch.sweep import simulate_pipeline_sweep
 from repro.workloads import build_workload, workload_names
 
-from _shared import emit, run_once
+from _shared import emit, maybe_journal, run_once
 
 #: Functional cap: every corpus kernel completes well inside it.
 FUNCTIONAL_CAP = 5_000_000
@@ -79,7 +82,7 @@ def _forget(trace):
 def _sweep_rows(names, store):
     """Per-kernel reference vs cold/store-warm/warm sweep timings."""
     rows = []
-    for name in names:
+    for index, name in enumerate(names):
         trace = FunctionalSimulator(build_workload(name)).run(
             max_instructions=FUNCTIONAL_CAP, trace=True)
 
@@ -118,10 +121,65 @@ def _sweep_rows(names, store):
                      reference_s / cold_s,
                      reference_s / store_s,
                      reference_s / warm_s])
+        emit_event("progress", done=index + 1, total=len(names),
+                   unit="kernels", label=name)
     return rows
 
 
-def _measure(names):
+#: Kernels used for the journaling-overhead measurement: a small and a
+#: large trace, best-of-two per mode, so the ratio is stable without
+#: doubling the whole bench.
+OVERHEAD_NAMES = ["crc32", "fft"]
+
+
+def _overhead_sweep_once(trace, journal_dir):
+    """One cold sweep in a throwaway store; journaled iff ``journal_dir``."""
+    staging = tempfile.mkdtemp(prefix="bench-uarch-ovh-")
+    try:
+        store = ArtifactStore(root=staging, enabled=True)
+        _forget(trace)
+        if journal_dir is not None:
+            configure_journal(journal_dir, fresh=True)
+        start = time.perf_counter()
+        simulate_pipeline_sweep(trace, GRID,
+                                max_instructions=PIPELINE_CAP, store=store)
+        return time.perf_counter() - start
+    finally:
+        if journal_dir is not None:
+            configure_journal(None)
+        shutil.rmtree(staging, ignore_errors=True)
+
+
+def _journal_overhead(names, reps=5):
+    """Cold-sweep wall ratio with journaling on vs off (geomean).
+
+    The acceptance bar for span/journal instrumentation is ≤3% on this
+    path; the measured ratio is committed with the results so a
+    regression is visible in review, not just on a CI host.  Best-of-N
+    per mode, with the "off" leg under :func:`suspend_journal` so the
+    baseline is journal-free even when the bench itself is journaled
+    (CI sets ``REPRO_BENCH_JOURNAL_DIR``).
+    """
+    ratios = []
+    journal_dir = tempfile.mkdtemp(prefix="bench-journal-overhead-")
+    try:
+        for name in names:
+            trace = FunctionalSimulator(build_workload(name)).run(
+                max_instructions=FUNCTIONAL_CAP, trace=True)
+            off = on = None
+            for _ in range(reps):  # interleaved: host drift hits both
+                with suspend_journal():
+                    elapsed = _overhead_sweep_once(trace, None)
+                off = elapsed if off is None else min(off, elapsed)
+                elapsed = _overhead_sweep_once(trace, journal_dir)
+                on = elapsed if on is None else min(on, elapsed)
+            ratios.append(on / off)
+    finally:
+        shutil.rmtree(journal_dir, ignore_errors=True)
+    return _geomean(ratios)
+
+
+def _measure(names, overhead=True):
     staging = tempfile.mkdtemp(prefix="bench-uarch-sweep-")
     try:
         store = ArtifactStore(root=staging, enabled=True)
@@ -135,6 +193,8 @@ def _measure(names):
         "geomean_cold": _geomean([row[4] for row in rows]),
         "geomean_store": _geomean([row[5] for row in rows]),
         "geomean_warm": _geomean([row[6] for row in rows]),
+        "journal_overhead_cold":
+            _journal_overhead(OVERHEAD_NAMES) if overhead else None,
     }
 
 
@@ -148,6 +208,10 @@ def _render(data):
     text += (f"\n  geomean speedup: {data['geomean_cold']:.2f}x cold"
              f" / {data['geomean_store']:.2f}x store-warm"
              f" / {data['geomean_warm']:.2f}x warm")
+    if data.get("journal_overhead_cold"):
+        overhead = (data["journal_overhead_cold"] - 1.0) * 100.0
+        text += (f"\n  journaling overhead (cold sweep, spans + journal "
+                 f"on): {overhead:+.1f}%")
     return text
 
 
@@ -156,6 +220,10 @@ def _check_regression_floors(data):
     real regression without making the bench flaky on noisy hosts."""
     assert data["geomean_cold"] >= 1.5, data["geomean_cold"]
     assert data["geomean_warm"] >= data["geomean_cold"] * 0.8
+    if data.get("journal_overhead_cold"):
+        # Target is ≤3%; the hard gate leaves headroom for host noise.
+        assert data["journal_overhead_cold"] <= 1.15, \
+            data["journal_overhead_cold"]
 
 
 def test_uarch_sweep_speedups(benchmark):
@@ -171,14 +239,38 @@ def main(argv=None):
     parser.add_argument("--smoke", action="store_true",
                         help="four-kernel equivalence/speedup gate; "
                              "prints but persists nothing")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the measured data as JSON "
+                             "(for benchmarks/check_regression.py)")
+    parser.add_argument("--overhead-only", action="store_true",
+                        help="measure and persist only the journaling "
+                             "overhead on the cold sweep path")
     args = parser.parse_args(argv)
+    if args.overhead_only:
+        ratio = _journal_overhead(OVERHEAD_NAMES, reps=7)
+        data = {"kernels": OVERHEAD_NAMES, "reps": 7,
+                "cold_sweep_ratio": ratio}
+        text = (f"journaling overhead, cold grid sweep "
+                f"({len(GRID)} configs x {PIPELINE_CAP} instructions, "
+                f"best-of-7 per mode over {', '.join(OVERHEAD_NAMES)}):\n"
+                f"  on/off wall ratio: {ratio:.3f} "
+                f"({(ratio - 1.0) * 100.0:+.1f}%)")
+        emit("journal_overhead", text, data=data)
+        assert ratio <= 1.03, ratio  # the ≤3% acceptance bar, verbatim
+        return
     names = SMOKE_NAMES if args.smoke else workload_names()
-    data = _measure(names)
+    with maybe_journal("uarch_sweep"):
+        data = _measure(names)
     print(_render(data))
     _check_regression_floors(data)
     if not args.smoke:
         assert data["geomean_cold"] >= 2.0, data["geomean_cold"]
         emit("uarch_sweep", _render(data), data=data)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump({"name": "uarch_sweep", "data": data}, handle,
+                      indent=2)
+            handle.write("\n")
     print("\nuarch-sweep bench OK "
           f"({'smoke, ' if args.smoke else ''}{len(names)} kernels)")
 

@@ -11,7 +11,19 @@ Commands mirror the vendor/architect workflow:
 * ``estimate``  — statistical-simulation IPC estimate from a profile;
 * ``lint``      — static verification of a workload/assembly file (or,
   with ``--clone``, profile-conformance analysis of its clone);
-* ``report``    — render the manifest/metrics of a prior run directory.
+* ``report``    — render the manifest/metrics of a prior run directory;
+* ``trace``     — timeline / flame / critical-path views of a run
+  directory's event journal, with Chrome trace-event export;
+* ``tail``      — live status of an in-flight run (per-worker spans,
+  progress, ETA) from the same journal.
+
+Runs started with ``--run-dir`` record an append-only event journal
+(``journal-<pid>.jsonl``, one file per process) next to the manifest:
+hierarchical spans from ``cli.<command>`` down to individual pool
+tasks, artifact-store hits/misses, lint verdicts, metric deltas, and
+progress heartbeats.  ``--profile`` additionally samples the main
+thread and attributes hot code to the enclosing span (off by default;
+zero cost when disabled).
 
 Global flags (valid before or after the subcommand): ``--verbose`` /
 ``--quiet`` control the structured log level (also settable via the
@@ -61,11 +73,24 @@ from repro.obs import (
     DEBUG,
     WARNING,
     RunManifest,
+    SamplingProfiler,
+    build_span_tree,
+    configure_journal,
     configure_logging,
+    critical_path_text,
+    emit_event,
+    emit_metric_deltas,
+    export_chrome_trace,
+    flame_summary,
+    flame_text,
+    format_profile,
     get_logger,
+    read_journal,
     reset_telemetry,
     set_telemetry_enabled,
+    timeline_text,
 )
+from repro.obs import trace as _trace
 from repro.sim import BACKENDS, SimulationError, run_program
 from repro.uarch import (
     BASE_CONFIG,
@@ -420,6 +445,59 @@ def cmd_lint(args, ctx):
     return EXIT_LINT_FAILED if failed else EXIT_OK
 
 
+def _best_effort_manifest(target):
+    """Whatever salvageable dict a partial/corrupt manifest holds."""
+    path = target
+    if os.path.isdir(path):
+        path = os.path.join(path, "manifest.json")
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    return data if isinstance(data, dict) else {}
+
+
+def _report_degraded(args, ctx, error):
+    """Partial render for a run dir whose manifest is unusable.
+
+    A killed run leaves a corrupt or missing manifest but usually a
+    readable journal; render what exists instead of refusing.  Without
+    any journal events there is nothing to show, so the historical
+    ``EXIT_LOAD_FAILED`` contract holds.
+    """
+    target = args.target
+    run_dir = target if os.path.isdir(target) else (
+        os.path.dirname(target) or ".")
+    merged = read_journal(run_dir)
+    if not merged.events:
+        raise CliError(EXIT_LOAD_FAILED, f"cannot read manifest: {error}")
+    _LOG.warning("report.manifest_unreadable", target=target,
+                 error=str(error))
+    ctx.emit(f"warning: manifest unreadable ({error}); "
+             "rendering journal instead")
+    raw = _best_effort_manifest(target)
+    if isinstance(raw.get("command"), str):
+        line = f"run: {raw['command']}"
+        if isinstance(raw.get("target"), str):
+            line += f" {raw['target']}"
+        ctx.emit(line + "  [from partial manifest]")
+    begin, end = merged.run_info()
+    if begin is not None:
+        ctx.emit(f"run_begin: {begin.get('command')} "
+                 f"{begin.get('target') or ''}".rstrip())
+    if end is None:
+        ctx.emit("no run_end event — run was killed or is still in flight")
+    roots = build_span_tree(merged.events)
+    ctx.emit("")
+    ctx.emit(flame_text(roots))
+    ctx.emit("")
+    ctx.emit(critical_path_text(roots))
+    ctx.payload.update(degraded=True, events=len(merged.events),
+                       skipped=merged.skipped)
+    return EXIT_OK
+
+
 def cmd_report(args, ctx):
     """Render the manifest of a prior run directory (or manifest file)."""
     target = args.target
@@ -429,7 +507,7 @@ def cmd_report(args, ctx):
     try:
         manifest = RunManifest.load(target)
     except (ValueError, OSError) as exc:
-        raise CliError(EXIT_LOAD_FAILED, f"cannot read manifest: {exc}")
+        return _report_degraded(args, ctx, exc)
     data = manifest.to_dict()
     ctx.payload = data
     prov = data.get("provenance") or {}
@@ -489,7 +567,145 @@ def cmd_report(args, ctx):
             rows.append([name, entry.get("type"), value])
         ctx.emit("\nmetrics:\n" + format_table(
             ["metric", "type", "value"], rows))
+    if data.get("profile"):
+        ctx.emit("\n" + format_profile(data["profile"]))
+    if getattr(args, "timeline", False):
+        run_dir = target if os.path.isdir(target) else (
+            os.path.dirname(target) or ".")
+        merged = read_journal(run_dir)
+        if merged.events:
+            roots = build_span_tree(merged.events)
+            ctx.emit("\n" + timeline_text(roots))
+            ctx.emit("\n" + flame_text(roots))
+        else:
+            ctx.emit("\ntimeline: no journal in run dir "
+                     "(re-run with --run-dir to record one)")
     return EXIT_OK
+
+
+# ----------------------------------------------------------------------
+def _journal_or_fail(run_dir):
+    """Load a run dir's merged journal; distinct exits match report's."""
+    if not os.path.isdir(run_dir):
+        raise CliError(EXIT_BAD_TARGET, f"no run directory at {run_dir!r}")
+    merged = read_journal(run_dir)
+    if not merged.events:
+        raise CliError(EXIT_LOAD_FAILED,
+                       f"no journal events in {run_dir!r} — record one by "
+                       "running a command with --run-dir")
+    return merged
+
+
+def cmd_trace(args, ctx):
+    """Render a run journal: timeline, flame summary, critical path."""
+    merged = _journal_or_fail(args.target)
+    roots = build_span_tree(merged.events)
+    begin, end = merged.run_info()
+    header = [f"journal: {len(merged.events)} events from "
+              f"{len(merged.files)} process(es)"]
+    if merged.skipped:
+        header.append(f"  skipped: {merged.skipped} torn/unreadable "
+                      "line(s)")
+    if begin is not None:
+        header.append(f"  command: {begin.get('command')} "
+                      f"{begin.get('target') or ''}".rstrip())
+    if end is not None:
+        header.append(f"  exit:    {end.get('exit_code')} after "
+                      f"{end.get('wall_seconds', 0.0):.3f}s")
+    else:
+        header.append("  exit:    (no run_end — in flight or killed)")
+    ctx.emit("\n".join(header))
+    if args.view in ("timeline", "all"):
+        ctx.emit("\n" + timeline_text(roots))
+    if args.view in ("flame", "all"):
+        ctx.emit("\n" + flame_text(roots, limit=args.limit))
+    if args.view in ("critical", "all"):
+        ctx.emit("\n" + critical_path_text(roots))
+    ctx.payload.update(events=len(merged.events), pids=merged.pids(),
+                       skipped=merged.skipped,
+                       flame=flame_summary(roots, limit=args.limit))
+    if args.chrome:
+        written = export_chrome_trace(merged.events, args.chrome)
+        ctx.emit(f"\nwrote {args.chrome} ({written} trace events) — "
+                 "load in chrome://tracing or Perfetto")
+        ctx.payload["chrome_trace"] = args.chrome
+    return EXIT_OK
+
+
+def _tail_snapshot(merged):
+    """One live-status frame: run state, workers, progress, ETA."""
+    lines = []
+    begin, end = merged.run_info()
+    last_ts = merged.events[-1]["ts"]
+    if begin is not None:
+        started = f"{begin.get('command')} {begin.get('target') or ''}"
+        lines.append(f"run: {started.rstrip()}")
+    if end is not None:
+        lines.append(f"state: finished (exit {end.get('exit_code')}, "
+                     f"{end.get('wall_seconds', 0.0):.3f}s)")
+    else:
+        age = last_ts - (begin["ts"] if begin else merged.events[0]["ts"])
+        lines.append(f"state: running ({age:.1f}s, "
+                     f"last event {time.strftime('%H:%M:%S', time.localtime(last_ts))})")
+    announced, done = merged.task_counts()
+    if announced:
+        lines.append(f"tasks: {done}/{announced} complete")
+    open_spans = merged.open_spans()
+    for pid in sorted(open_spans):
+        stack = open_spans[pid]
+        chain = " > ".join(event["name"] for event in stack)
+        busy = last_ts - stack[-1]["ts"]
+        lines.append(f"pid {pid}: {chain} ({busy:.1f}s in current span)")
+    for (pid, unit), event in sorted(merged.latest_progress().items(),
+                                     key=lambda item: (item[0][0],
+                                                       str(item[0][1]))):
+        done_n = event.get("done", 0)
+        total = event.get("total")
+        line = f"pid {pid}: {done_n}"
+        if total:
+            line += f"/{total}"
+        line += f" {unit or 'units'}"
+        label = event.get("label")
+        if label:
+            line += f" [{label}]"
+        start_ts = begin["ts"] if begin else merged.events[0]["ts"]
+        elapsed = event["ts"] - start_ts
+        if end is None and total and done_n and elapsed > 0:
+            rate = done_n / elapsed
+            eta = (total - done_n) / rate
+            line += f" — ETA {eta:.1f}s"
+        lines.append(line)
+    if merged.skipped:
+        lines.append(f"(skipped {merged.skipped} torn line(s))")
+    return "\n".join(lines)
+
+
+def cmd_tail(args, ctx):
+    """Live (or one-shot) status of a run from its journal."""
+    if not args.follow:
+        merged = _journal_or_fail(args.target)
+        ctx.emit(_tail_snapshot(merged))
+        ctx.payload.update(events=len(merged.events), pids=merged.pids())
+        return EXIT_OK
+    if not os.path.isdir(args.target):
+        raise CliError(EXIT_BAD_TARGET,
+                       f"no run directory at {args.target!r}")
+    while True:
+        merged = read_journal(args.target)
+        try:
+            if merged.events:
+                print(_tail_snapshot(merged))
+                if merged.run_info()[1] is not None:
+                    return EXIT_OK
+            else:
+                print("waiting for journal events...")
+            time.sleep(args.interval)
+            print("---")
+        except KeyboardInterrupt:
+            return EXIT_OK
+        except BrokenPipeError:
+            _detach_broken_stdout()
+            return EXIT_OK
 
 
 # ----------------------------------------------------------------------
@@ -510,6 +726,9 @@ def _add_global_flags(parser, suppress):
                         default=argparse.SUPPRESS if suppress else None,
                         help="functional-simulator backend (default: "
                              "REPRO_SIM_BACKEND env var, else auto)")
+    parser.add_argument("--profile", action="store_true", default=default,
+                        help="sample the run and attribute hot code to "
+                             "spans (manifest 'profile' block)")
 
 
 def build_parser():
@@ -576,14 +795,40 @@ def build_parser():
     p = sub.add_parser("report", parents=[parent],
                        help="render a prior run's manifest/metrics")
     p.add_argument("target", help="run directory or manifest.json path")
+    p.add_argument("--timeline", action="store_true",
+                   help="append journal timeline + flame views")
+
+    p = sub.add_parser("trace", parents=[parent],
+                       help="render a run's event journal "
+                            "(timeline/flame/critical path)")
+    p.add_argument("target", help="run directory with journal-*.jsonl")
+    p.add_argument("--view", choices=("timeline", "flame", "critical",
+                                      "all"), default="all")
+    p.add_argument("--limit", type=int, default=12,
+                   help="max flame-summary rows")
+    p.add_argument("--chrome", default=None, metavar="PATH",
+                   help="also export Chrome trace-event JSON here")
+
+    p = sub.add_parser("tail", parents=[parent],
+                       help="status of an in-flight run from its journal")
+    p.add_argument("target", help="run directory with journal-*.jsonl")
+    p.add_argument("-f", "--follow", action="store_true",
+                   help="keep polling until the run ends")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="poll interval in seconds (with --follow)")
     return parser
 
 
 _HANDLERS = {
     "list": cmd_list, "profile": cmd_profile, "clone": cmd_clone,
     "compare": cmd_compare, "sweep": cmd_sweep, "estimate": cmd_estimate,
-    "lint": cmd_lint, "report": cmd_report,
+    "lint": cmd_lint, "report": cmd_report, "trace": cmd_trace,
+    "tail": cmd_tail,
 }
+
+#: Commands that *read* run dirs: they never journal, collect a
+#: manifest, or overwrite what they are inspecting.
+_READONLY_COMMANDS = ("report", "trace", "tail")
 
 
 def main(argv=None):
@@ -603,59 +848,110 @@ def main(argv=None):
     reset_sweep_stats()
     default_store().reset_counters()
 
+    # Runs that persist a run dir also record an event journal there;
+    # read-only commands must never clobber the journal they inspect.
+    journaling = bool(args.run_dir and not args.quiet
+                      and args.command not in _READONLY_COMMANDS)
+    if journaling:
+        configure_journal(args.run_dir, fresh=True)
+        emit_event("run_begin", command=args.command,
+                   target=getattr(args, "target", None),
+                   jobs=getattr(args, "jobs", None),
+                   argv=list(argv) if argv is not None else sys.argv[1:])
+    profiler = None
+    if getattr(args, "profile", False) and not args.quiet:
+        profiler = SamplingProfiler().start()
+
     ctx = RunContext(args)
+    code = None
+    failed = False
     wall_start = time.perf_counter()
+    root_span = _trace.begin_span(f"cli.{args.command}",
+                                  {"command": args.command})
     try:
-        code = _HANDLERS[args.command](args, ctx)
-    except CliError as exc:
-        _LOG.error("cli.error", command=args.command, message=str(exc))
-        if ctx.json_mode:
-            print(json.dumps({"command": args.command, "error": str(exc),
-                              "exit_code": exc.code}))
-        return exc.code
-    except SimulationError as exc:
-        _LOG.error("cli.simulation_error", command=args.command,
-                   message=str(exc), pc=exc.pc,
-                   instructions=exc.instructions, block=exc.block)
-        if ctx.json_mode:
-            print(json.dumps({"command": args.command, "error": str(exc),
-                              "exit_code": EXIT_ERROR}))
-        return EXIT_ERROR
-    except LintGateError as exc:
-        _LOG.error("cli.lint_gate", command=args.command,
-                   codes=exc.report.codes())
-        if ctx.json_mode:
-            print(json.dumps({"command": args.command,
-                              "error": "post-synthesis lint gate failed",
-                              "lint": exc.report.to_dict(),
-                              "exit_code": EXIT_LINT_FAILED}))
-        else:
-            print(exc.report.render_text(), file=sys.stderr)
-        return EXIT_LINT_FAILED
-    wall = time.perf_counter() - wall_start
+        try:
+            code = _HANDLERS[args.command](args, ctx)
+        except CliError as exc:
+            _LOG.error("cli.error", command=args.command, message=str(exc))
+            if ctx.json_mode:
+                print(json.dumps({"command": args.command,
+                                  "error": str(exc),
+                                  "exit_code": exc.code}))
+            code, failed = exc.code, True
+        except SimulationError as exc:
+            _LOG.error("cli.simulation_error", command=args.command,
+                       message=str(exc), pc=exc.pc,
+                       instructions=exc.instructions, block=exc.block)
+            if ctx.json_mode:
+                print(json.dumps({"command": args.command,
+                                  "error": str(exc),
+                                  "exit_code": EXIT_ERROR}))
+            code, failed = EXIT_ERROR, True
+        except LintGateError as exc:
+            _LOG.error("cli.lint_gate", command=args.command,
+                       codes=exc.report.codes())
+            if ctx.json_mode:
+                print(json.dumps({"command": args.command,
+                                  "error": "post-synthesis lint gate "
+                                           "failed",
+                                  "lint": exc.report.to_dict(),
+                                  "exit_code": EXIT_LINT_FAILED}))
+            else:
+                print(exc.report.render_text(), file=sys.stderr)
+            code, failed = EXIT_LINT_FAILED, True
+    finally:
+        wall = time.perf_counter() - wall_start
+        _trace.end_span(root_span, wall)
+        if profiler is not None:
+            profiler.stop()
+        if journaling:
+            emit_metric_deltas()
+            emit_event("run_end",
+                       exit_code=EXIT_ERROR if code is None else code,
+                       wall_seconds=round(wall, 6))
+            configure_journal(None)
+    profile_summary = None
+    if profiler is not None:
+        profile_summary = profiler.summary()
+        if not ctx.json_mode and not failed:
+            ctx.emit("\n" + format_profile(profile_summary))
+    if failed:
+        return code
 
     manifest = None
     # Manifest collection (incl. a git-rev subprocess) only happens when
     # something will consume it, so plain/--quiet runs pay nothing.
-    if args.command != "report" and (ctx.json_mode or args.run_dir):
+    if (args.command not in _READONLY_COMMANDS
+            and (ctx.json_mode or args.run_dir)):
         manifest = RunManifest.collect(
             command=args.command, target=getattr(args, "target", None),
             seed=getattr(args, "seed", None), config=ctx.config,
-            wall_seconds=wall, headline=ctx.headline, lint=ctx.lint)
+            wall_seconds=wall, headline=ctx.headline, lint=ctx.lint,
+            profile=profile_summary)
         if args.run_dir:
             path = manifest.save(args.run_dir)
             _LOG.info("cli.manifest", path=path)
 
-    if ctx.json_mode:
-        output = dict(ctx.payload)
-        output.setdefault("command", args.command)
-        if manifest is not None:
-            output["manifest"] = manifest.to_dict()
-        print(json.dumps(output, indent=2, default=str))
-    else:
-        for text in ctx.lines:
-            print(text)
+    try:
+        if ctx.json_mode:
+            output = dict(ctx.payload)
+            output.setdefault("command", args.command)
+            if manifest is not None:
+                output["manifest"] = manifest.to_dict()
+            print(json.dumps(output, indent=2, default=str))
+        else:
+            for text in ctx.lines:
+                print(text)
+    except BrokenPipeError:
+        _detach_broken_stdout()
     return code
+
+
+def _detach_broken_stdout():
+    """Downstream pager/head closed the pipe; not our error.  Point
+    stdout at /dev/null so interpreter shutdown doesn't raise again."""
+    devnull = os.open(os.devnull, os.O_WRONLY)
+    os.dup2(devnull, sys.stdout.fileno())
 
 
 if __name__ == "__main__":

@@ -27,6 +27,7 @@ from repro.core.sfg import StatisticalFlowGraph
 from repro.isa.assembler import assemble, _li_sequence
 from repro.isa.instructions import IClass
 from repro.isa.registers import reg_name
+from repro.obs.journal import emit_event
 from repro.obs.logging import get_logger
 from repro.obs.metrics import REGISTRY
 from repro.obs.timing import span
@@ -247,6 +248,7 @@ class CloneSynthesizer:
         with span("lint_gate"):
             report = lint_clone(result, conformance=self.lint_conformance)
         result.stats["lint"] = report.summary()
+        emit_event("lint", gate=mode, **report.summary())
         REGISTRY.counter("lint.gate_runs").inc()
         if not report.ok:
             REGISTRY.counter("lint.gate_failures").inc()

@@ -16,16 +16,60 @@ Job counts resolve as: explicit argument → ``REPRO_JOBS`` env var → 1.
 Worker processes inherit the environment, so the persistent artifact
 store stays shared across the pool; telemetry counters incremented
 inside workers stay in those processes (per-process registries are not
-merged back).
+merged back — but with a run journal active, each worker journals its
+own metric deltas and wraps every task in an ``exec.task`` span whose
+parent is the dispatching span, inherited through
+``REPRO_TRACE_PARENT``).
 """
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 
+from repro.obs import trace as _trace
+from repro.obs.journal import (active_journal, emit_event,
+                               emit_metric_deltas)
 from repro.obs.logging import get_logger
 from repro.obs.metrics import REGISTRY
 
 _LOG = get_logger("repro.exec.parallel")
+
+
+@contextmanager
+def _propagated_trace():
+    """Export the current span id to pool workers for the pool's life.
+
+    Workers inherit ``REPRO_TRACE_PARENT`` at fork/spawn, so their first
+    span attaches under the span that dispatched the grid.  No-op when
+    there is nothing to propagate.
+    """
+    parent = _trace.current_span_id()
+    if parent is None or active_journal() is None:
+        yield
+        return
+    previous = os.environ.get(_trace.TRACE_PARENT_ENV)
+    os.environ[_trace.TRACE_PARENT_ENV] = parent
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(_trace.TRACE_PARENT_ENV, None)
+        else:
+            os.environ[_trace.TRACE_PARENT_ENV] = previous
+
+
+def _call_traced(task):
+    """Worker-side wrapper journaling one task as an ``exec.task`` span."""
+    func, index, item = task
+    if active_journal() is None:
+        return func(item)
+    from repro.obs.timing import TRACER
+    with TRACER.span("exec.task", task=index,
+                     func=getattr(func, "__name__", str(func))):
+        result = func(item)
+    emit_event("task_done", task=index)
+    emit_metric_deltas()
+    return result
 
 
 def resolve_jobs(jobs=None, environ=None):
@@ -64,8 +108,15 @@ def parallel_map(func, items, jobs=None):
     REGISTRY.gauge("exec.parallel.jobs").set(workers)
     REGISTRY.counter("exec.parallel.tasks").inc(len(items))
     _LOG.debug("parallel.map", tasks=len(items), jobs=workers)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(func, items))
+    emit_event("tasks", total=len(items), jobs=workers)
+    with _propagated_trace():
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            if active_journal() is None:
+                return list(pool.map(func, items))
+            return list(pool.map(
+                _call_traced,
+                [(func, index, item)
+                 for index, item in enumerate(items)]))
 
 
 # ----------------------------------------------------------------------
@@ -80,8 +131,16 @@ def _init_shared(state):
 
 
 def _call_with_shared(task):
-    func, item = task
-    return func(_SHARED_STATE, item)
+    func, index, item = task
+    if active_journal() is None:
+        return func(_SHARED_STATE, item)
+    from repro.obs.timing import TRACER
+    with TRACER.span("exec.task", task=index,
+                     func=getattr(func, "__name__", str(func))):
+        result = func(_SHARED_STATE, item)
+    emit_event("task_done", task=index)
+    emit_metric_deltas()
+    return result
 
 
 def shared_state_map(func, items, state, jobs=None):
@@ -100,8 +159,12 @@ def shared_state_map(func, items, state, jobs=None):
     REGISTRY.gauge("exec.parallel.jobs").set(workers)
     REGISTRY.counter("exec.parallel.tasks").inc(len(items))
     _LOG.debug("parallel.shared_map", tasks=len(items), jobs=workers)
-    with ProcessPoolExecutor(max_workers=workers,
-                             initializer=_init_shared,
-                             initargs=(state,)) as pool:
-        return list(pool.map(_call_with_shared,
-                             [(func, item) for item in items]))
+    emit_event("tasks", total=len(items), jobs=workers)
+    with _propagated_trace():
+        with ProcessPoolExecutor(max_workers=workers,
+                                 initializer=_init_shared,
+                                 initargs=(state,)) as pool:
+            return list(pool.map(
+                _call_with_shared,
+                [(func, index, item)
+                 for index, item in enumerate(items)]))

@@ -37,6 +37,7 @@ import os
 import shutil
 import tempfile
 
+from repro.obs.journal import emit_event
 from repro.obs.logging import get_logger
 from repro.obs.metrics import REGISTRY
 
@@ -111,6 +112,7 @@ class ArtifactStore:
         self.misses = 0
         self.writes = 0
         self.evictions = 0
+        self.evicted_bytes = 0
 
     # ------------------------------------------------------------------
     @property
@@ -143,7 +145,7 @@ class ArtifactStore:
             return None
         entry = self.entry_dir(key)
         if not self.has(key):
-            self._record("miss")
+            self._record("miss", key=key)
             return None
         try:
             with open(os.path.join(entry, META_FILENAME)) as handle:
@@ -158,13 +160,13 @@ class ArtifactStore:
         except (OSError, ValueError, KeyError) as exc:
             _LOG.warning("store.corrupt", key=key, error=str(exc))
             shutil.rmtree(entry, ignore_errors=True)
-            self._record("miss")
+            self._record("miss", key=key)
             return None
         try:  # LRU freshness for eviction ordering
             os.utime(entry)
         except OSError:
             pass
-        self._record("hit")
+        self._record("hit", key=key)
         return meta, entry
 
     def save(self, key, meta, files):
@@ -199,7 +201,7 @@ class ArtifactStore:
         except BaseException:
             shutil.rmtree(staging, ignore_errors=True)
             raise
-        self._record("write")
+        self._record("write", key=key)
         _LOG.debug("store.write", key=key)
         if self.max_bytes is not None:
             self.prune(self.max_bytes)
@@ -243,7 +245,10 @@ class ArtifactStore:
             shutil.rmtree(self.entry_dir(key), ignore_errors=True)
             total -= size
             evicted.append(key)
-            self._record("eviction")
+            self._record("eviction", key=key, bytes=size)
+            self.evicted_bytes += size
+            REGISTRY.counter("exec.store.evicted_bytes").inc(size)
+            REGISTRY.counter("exec.store.evicted_entries").inc()
         if evicted:
             _LOG.info("store.pruned", evicted=len(evicted),
                       remaining_bytes=total)
@@ -257,10 +262,11 @@ class ArtifactStore:
     _EVENT_ATTRS = {"hit": "hits", "miss": "misses", "write": "writes",
                     "eviction": "evictions"}
 
-    def _record(self, event):
+    def _record(self, event, **journal_fields):
         attribute = self._EVENT_ATTRS[event]
         setattr(self, attribute, getattr(self, attribute) + 1)
         REGISTRY.counter(f"exec.store.{event}").inc()
+        emit_event("store", event=event, **journal_fields)
 
     def reset_counters(self):
         """Zero the per-instance event counts (per-command accounting)."""
@@ -268,12 +274,14 @@ class ArtifactStore:
         self.misses = 0
         self.writes = 0
         self.evictions = 0
+        self.evicted_bytes = 0
 
     def stats(self):
         """Provenance block for manifests and benchmark envelopes."""
         return {"root": self.root, "enabled": self.enabled,
                 "hits": self.hits, "misses": self.misses,
-                "writes": self.writes, "evictions": self.evictions}
+                "writes": self.writes, "evictions": self.evictions,
+                "evicted_bytes": self.evicted_bytes}
 
 
 _DEFAULT_STORE = None

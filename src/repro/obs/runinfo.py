@@ -22,7 +22,7 @@ import subprocess
 import sys
 import time
 
-MANIFEST_SCHEMA_VERSION = 2  # v2: optional uarch sweep reuse block
+MANIFEST_SCHEMA_VERSION = 3  # v3: optional sampling-profiler block
 MANIFEST_FILENAME = "manifest.json"
 
 
@@ -84,12 +84,16 @@ class RunManifest:
     #: cache hits, distinct hierarchies/predictors per grid, per-config
     #: wall time.  None when the run swept nothing.
     sweep: dict = None
+    #: Sampling self-profiler digest (:mod:`repro.obs.selfprof`):
+    #: interval, sample count, and top (span, function) pairs.  None
+    #: unless the run was started with ``--profile``.
+    profile: dict = None
     provenance: dict = dataclasses.field(default_factory=provenance)
     schema_version: int = MANIFEST_SCHEMA_VERSION
 
     @classmethod
     def collect(cls, command, target=None, seed=None, config=None,
-                wall_seconds=0.0, headline=None, lint=None):
+                wall_seconds=0.0, headline=None, lint=None, profile=None):
         """Build a manifest from the global tracer/registry state."""
         from repro.obs.metrics import REGISTRY
         from repro.obs.timing import TRACER
@@ -101,7 +105,8 @@ class RunManifest:
                    wall_seconds=wall_seconds, headline=dict(headline or {}),
                    phases=TRACER.flat(), metrics=REGISTRY.snapshot(),
                    lint=dict(lint) if lint else None,
-                   sweep=sweep if sweep.get("grids") else None)
+                   sweep=sweep if sweep.get("grids") else None,
+                   profile=dict(profile) if profile else None)
 
     # ------------------------------------------------------------------
     def to_dict(self):
@@ -164,6 +169,9 @@ def validate_manifest(data):
     expect("headline", dict)
     expect("lint", dict, required=False, nullable=True)
     expect("sweep", dict, required=False, nullable=True)
+    prof = expect("profile", dict, required=False, nullable=True)
+    if prof is not None and "samples" not in prof:
+        errors.append("profile missing 'samples'")
     prov = expect("provenance", dict)
     if prov is not None:
         for key in ("python", "platform", "created_at"):

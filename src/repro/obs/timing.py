@@ -20,6 +20,8 @@ nothing beyond one method call per phase.
 import time
 from contextlib import contextmanager
 
+from repro.obs import trace as _trace
+
 
 class Tracer:
     """Aggregating span collector; one global instance serves the process."""
@@ -41,13 +43,20 @@ class Tracer:
 
     # ------------------------------------------------------------------
     @contextmanager
-    def span(self, name):
-        """Time a phase; nested spans extend the current path."""
+    def span(self, name, **attrs):
+        """Time a phase; nested spans extend the current path.
+
+        When a run journal is active (:mod:`repro.obs.journal`), each
+        entry additionally emits a hierarchical ``span_open`` /
+        ``span_close`` pair with identity, parent link, and ``attrs``;
+        without one, the journal hook is a single ``None`` check.
+        """
         if not self._enabled:
             yield
             return
         path = f"{self._stack[-1]}/{name}" if self._stack else name
         self._stack.append(path)
+        handle = _trace.begin_span(name, attrs or None)
         wall0 = time.perf_counter()
         cpu0 = time.process_time()
         try:
@@ -55,6 +64,7 @@ class Tracer:
         finally:
             wall = time.perf_counter() - wall0
             cpu = time.process_time() - cpu0
+            _trace.end_span(handle, wall, cpu)
             self._stack.pop()
             entry = self._spans.get(path)
             if entry is None:
@@ -90,6 +100,6 @@ class Tracer:
 TRACER = Tracer(enabled=True)
 
 
-def span(name):
+def span(name, **attrs):
     """Convenience: a span on the global tracer."""
-    return TRACER.span(name)
+    return TRACER.span(name, **attrs)

@@ -12,6 +12,7 @@ import time
 
 from repro.isa.assembler import TEXT_BASE
 from repro.isa.registers import NUM_REGS, REG_SP
+from repro.obs.journal import active_journal, emit_event
 from repro.obs.logging import INFO, get_logger
 from repro.obs.metrics import REGISTRY
 from repro.sim.memory import Memory
@@ -145,7 +146,8 @@ class FunctionalSimulator:
         # seed's single integer compare per instruction and telemetry-off
         # runs are exactly as fast as before.
         wall_start = time.perf_counter()
-        if REGISTRY.enabled and _LOG.is_enabled_for(INFO):
+        if REGISTRY.enabled and (_LOG.is_enabled_for(INFO)
+                                 or active_journal() is not None):
             next_heartbeat = HEARTBEAT_INTERVAL
         else:
             next_heartbeat = max_instructions + 1
@@ -164,9 +166,12 @@ class FunctionalSimulator:
                 next_heartbeat += HEARTBEAT_INTERVAL
                 check_limit = min(max_instructions, next_heartbeat - 1)
                 elapsed = time.perf_counter() - wall_start
+                mips = executed / elapsed / 1e6 if elapsed else 0.0
                 _LOG.info("sim.heartbeat", program=self.program.name,
-                          instructions=executed, pc=pc,
-                          mips=executed / elapsed / 1e6 if elapsed else 0.0)
+                          instructions=executed, pc=pc, mips=mips)
+                emit_event("progress", done=executed,
+                           total=max_instructions, unit="instructions",
+                           label=self.program.name, mips=round(mips, 2))
 
             next_pc = pc + 1
             addr = -1

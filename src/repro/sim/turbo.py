@@ -48,6 +48,7 @@ import time
 import numpy as np
 
 from repro.isa.assembler import TEXT_BASE
+from repro.obs.journal import active_journal, emit_event
 from repro.obs.logging import INFO, get_logger
 from repro.obs.metrics import REGISTRY
 from repro.sim import functional as _functional
@@ -820,7 +821,8 @@ def run_turbo(simulator, max_instructions, trace):
     # instruction only inside checked variants).
     wall_start = time.perf_counter()
     interval = _functional.HEARTBEAT_INTERVAL
-    if REGISTRY.enabled and _LOG.is_enabled_for(INFO):
+    if REGISTRY.enabled and (_LOG.is_enabled_for(INFO)
+                             or active_journal() is not None):
         next_heartbeat = interval
     else:
         next_heartbeat = max_instructions + 1
@@ -834,9 +836,11 @@ def run_turbo(simulator, max_instructions, trace):
         heartbeat[0] += interval
         new_limit = min(max_instructions, heartbeat[0] - 1)
         elapsed = time.perf_counter() - wall_start
+        mips = at_executed / elapsed / 1e6 if elapsed else 0.0
         _LOG.info("sim.heartbeat", program=name,
-                  instructions=at_executed, pc=at_pc,
-                  mips=at_executed / elapsed / 1e6 if elapsed else 0.0)
+                  instructions=at_executed, pc=at_pc, mips=mips)
+        emit_event("progress", done=at_executed, total=max_instructions,
+                   unit="instructions", label=name, mips=round(mips, 2))
         return new_limit
 
     fast_get = compiled.fast[trace].get

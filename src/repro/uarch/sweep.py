@@ -48,6 +48,7 @@ import time
 import numpy as np
 
 from repro.isa.instructions import IClass
+from repro.obs.journal import emit_event
 from repro.obs.logging import get_logger
 from repro.obs.metrics import REGISTRY
 from repro.obs.timing import span
@@ -1439,7 +1440,7 @@ def simulate_pipeline_sweep(trace, configs, max_instructions=None,
     if not configs:
         return []
     grid_started = time.perf_counter()
-    with span("uarch.sweep"):
+    with span("uarch.sweep", configs=len(configs)):
         store = _resolve_store(trace, store)
         digest = trace_digest(trace, store)
         total = len(trace)
@@ -1460,16 +1461,18 @@ def simulate_pipeline_sweep(trace, configs, max_instructions=None,
         if store is not None:
             _persist_digest(digest, store)
         results = []
-        for config in configs:
+        for index, config in enumerate(configs):
             # Per-config scheduling keeps run()'s span name, so grid
             # manifests still break out pipeline-timing wall time
             # (as ``uarch.sweep/uarch.pipeline``).
-            with span("uarch.pipeline"):
+            with span("uarch.pipeline", config=config.name):
                 results.append(_run_config(
                     digest, config,
                     hierarchy_banks[_hierarchy_key(config)],
                     predictor_banks[_predictor_key(config)],
                     total, class_counts, store))
+            emit_event("progress", done=index + 1, total=len(configs),
+                       unit="configs", label=config.name)
     _note("grids")
     _note("configs", len(configs))
     _note("instructions", total * len(configs))

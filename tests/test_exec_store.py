@@ -163,6 +163,37 @@ class TestEviction:
         assert bounded.entries() == []
         assert bounded.stats()["evictions"] >= 1
 
+    def test_eviction_telemetry_counters_and_bytes(self, store):
+        from repro.obs.metrics import REGISTRY
+        build(store, name="crc32")
+        entries_before = REGISTRY.counter(
+            "exec.store.evicted_entries").value
+        bytes_before = REGISTRY.counter("exec.store.evicted_bytes").value
+        evicted = store.prune(max_bytes=0)
+        assert evicted
+        assert store.evicted_bytes > 0
+        assert store.stats()["evicted_bytes"] == store.evicted_bytes
+        assert REGISTRY.counter("exec.store.evicted_entries").value \
+            == entries_before + len(evicted)
+        assert REGISTRY.counter("exec.store.evicted_bytes").value \
+            == bytes_before + store.evicted_bytes
+
+    def test_eviction_emits_journal_event(self, store, tmp_path):
+        from repro.obs.journal import configure_journal, read_journal
+        build(store, name="crc32")
+        run_dir = str(tmp_path / "journal")
+        configure_journal(run_dir)
+        try:
+            evicted = store.prune(max_bytes=0)
+        finally:
+            configure_journal(None)
+        events = [event for event in read_journal(run_dir).events
+                  if event["kind"] == "store"
+                  and event.get("event") == "eviction"]
+        assert len(events) == len(evicted)
+        assert {event["key"] for event in events} == set(evicted)
+        assert all(event["bytes"] > 0 for event in events)
+
 
 class TestCounters:
     def test_reset(self, store):
