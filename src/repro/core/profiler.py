@@ -28,6 +28,7 @@ from repro.core.profile import (
     MemOpStats,
     WorkloadProfile,
 )
+from repro.isa.columns import columns_for
 from repro.isa.instructions import IClass
 from repro.isa.registers import ZERO_REG
 from repro.obs.logging import get_logger
@@ -61,7 +62,7 @@ class WorkloadProfiler:
         )
 
         with span("profile"):
-            tables = _StaticTables(program)
+            tables = columns_for(program)
             dyn_class = tables.iclass[pcs]
             profile.global_mix = np.bincount(
                 dyn_class, minlength=IClass.COUNT).tolist()
@@ -96,23 +97,30 @@ class WorkloadProfiler:
         n_blocks = len(program.basic_blocks())
 
         visit_counts = np.bincount(visit_blocks, minlength=n_blocks)
+        block_facts = tables.derived.get("profile_block_facts")
+        if block_facts is None:
+            # Static per-block facts (class mix, memop pcs, conditional
+            # branch pc) derived from the shared columns once per
+            # program: the mix rows come from one bincount over the
+            # whole program, the pc lists from nonzero masks.
+            mix_rows = tables.mix_matrix()
+            block_facts = []
+            for start, end in tables.block_bounds:
+                mem = (np.nonzero(tables.is_mem[start:end])[0]
+                       + start).tolist()
+                conds = np.nonzero(tables.is_cond[start:end])[0]
+                branch_pc = int(conds[-1]) + start if len(conds) else -1
+                bid = len(block_facts)
+                block_facts.append((mix_rows[bid].tolist(), mem, branch_pc))
+            tables.derived["profile_block_facts"] = block_facts
         for block in program.basic_blocks():
             visits = int(visit_counts[block.bid])
             if visits == 0:
                 continue
-            mix = [0] * IClass.COUNT
-            mem_pcs = []
-            branch_pc = -1
-            for index in range(block.start, block.end):
-                instr = program.instructions[index]
-                mix[instr.iclass] += 1
-                if instr.is_mem:
-                    mem_pcs.append(index)
-                if instr.is_cond_branch:
-                    branch_pc = index
+            mix, mem_pcs, branch_pc = block_facts[block.bid]
             profile.blocks[block.bid] = BlockStats(
-                bid=block.bid, size=block.size, visits=visits, mix=mix,
-                mem_pcs=mem_pcs, branch_pc=branch_pc)
+                bid=block.bid, size=block.size, visits=visits,
+                mix=list(mix), mem_pcs=list(mem_pcs), branch_pc=branch_pc)
 
         # Edges and contexts.  The first visit's predecessor is -1.
         preds = np.empty_like(visit_blocks)
@@ -145,7 +153,7 @@ class WorkloadProfiler:
         preceding write.  Reads of the hardwired zero register are not
         dependences and are skipped.
         """
-        dyn_dst = tables.dst[pcs]
+        dyn_dst = tables.dest[pcs]
         source_columns = (tables.src1[pcs], tables.src2[pcs])
         n_ctx = len(ctx_keys)
         ctx_hist = np.zeros(n_ctx * NUM_DEP_BUCKETS, dtype=np.int64)
@@ -197,15 +205,16 @@ class WorkloadProfiler:
 
         covered_refs = 0
         streams = 0
+        is_store_of = columns_for(trace.program).is_store
         for start, end in zip(group_starts, group_ends):
             pc = int(sorted_pcs[start])
             addresses = sorted_addrs[start:end]
             count = end - start
-            instr = trace.program.instructions[pc]
+            is_store = bool(is_store_of[pc])
             if count == 1:
                 only = int(addresses[0])
                 profile.mem_ops[pc] = MemOpStats(
-                    pc=pc, is_store=instr.iclass == IClass.STORE, count=1,
+                    pc=pc, is_store=is_store, count=1,
                     dominant_stride=0, coverage=1.0, mean_stream_length=1.0,
                     distinct_strides=0, footprint_bytes=4,
                     first_address=only, last_address=only)
@@ -222,7 +231,7 @@ class WorkloadProfiler:
             local = float(np.count_nonzero(np.abs(deltas) <= 32)
                           / len(deltas))
             profile.mem_ops[pc] = MemOpStats(
-                pc=pc, is_store=instr.iclass == IClass.STORE,
+                pc=pc, is_store=is_store,
                 count=int(count), dominant_stride=dominant,
                 coverage=float(coverage), mean_stream_length=float(mean_run),
                 distinct_strides=int(len(values)), footprint_bytes=footprint,
@@ -290,30 +299,6 @@ class WorkloadProfiler:
             profile.branches[pc] = BranchStats(
                 pc=pc, count=int(count), taken_rate=taken_rate,
                 transition_rate=transition_rate)
-
-
-class _StaticTables:
-    """Per-instruction lookup arrays shared by all profiling passes."""
-
-    def __init__(self, program):
-        n = len(program.instructions)
-        self.iclass = np.empty(n, dtype=np.int8)
-        self.dst = np.full(n, -1, dtype=np.int16)
-        self.src1 = np.full(n, -1, dtype=np.int16)
-        self.src2 = np.full(n, -1, dtype=np.int16)
-        for index, instr in enumerate(program.instructions):
-            self.iclass[index] = instr.iclass
-            if instr.rd is not None:
-                self.dst[index] = instr.rd
-            if len(instr.srcs) >= 1:
-                self.src1[index] = instr.srcs[0]
-            if len(instr.srcs) >= 2:
-                self.src2[index] = instr.srcs[1]
-        self.block_of = np.asarray(
-            [program.block_of(i) for i in range(n)], dtype=np.int32)
-        self.is_block_start = np.zeros(n, dtype=bool)
-        for block in program.basic_blocks():
-            self.is_block_start[block.start] = True
 
 
 def _mean_run_length(mask):

@@ -24,11 +24,16 @@ from repro.isa.registers import (
     reg_name,
 )
 from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.columns import POOL_NAMES, POOL_OF_CLASS, ProgramColumns, columns_for
 from repro.isa.program import BasicBlock, Program, disassemble
 
 __all__ = [
     "AssemblerError",
     "BasicBlock",
+    "POOL_NAMES",
+    "POOL_OF_CLASS",
+    "ProgramColumns",
+    "columns_for",
     "FP_REG_BASE",
     "ICLASS_NAMES",
     "IClass",

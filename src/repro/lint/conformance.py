@@ -26,9 +26,12 @@ next instruction and are unaffected.
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.branch_model import BranchPattern, pattern_for
 from repro.core.profile import NUM_DEP_BUCKETS, dep_bucket
 from repro.core.regassign import CloneRegisterFile
+from repro.isa.columns import columns_for
 from repro.isa.instructions import IClass
 from repro.isa.registers import ZERO_REG
 from repro.lint.diagnostics import LintReport, make_diagnostic
@@ -147,10 +150,9 @@ def discover_shape(program, report, severity_overrides=None):
 # CF201: instruction mix
 # ----------------------------------------------------------------------
 def _body_hist(program, indices):
-    hist = [0] * IClass.COUNT
-    for index in indices:
-        hist[program.instructions[index].iclass] += 1
-    return hist
+    iclass = columns_for(program).iclass
+    return np.bincount(iclass[np.asarray(indices, dtype=np.int64)],
+                       minlength=IClass.COUNT).tolist()
 
 
 def _expected_block_hist(profile, bid, pattern):
@@ -281,28 +283,30 @@ def check_dep_conformance(clone, shape, tolerances,
     iteration, so loop-carried distances wrap correctly without walking
     a warm-up pass.
     """
-    instructions = clone.program.instructions
+    columns = columns_for(clone.program)
     report = LintReport(clone.program.name)
     profile_fracs = clone.profile.dep_fractions()
     if not sum(profile_fracs):
         return report
     hist = [0] * NUM_DEP_BUCKETS
-    body = [instructions[index] for index in shape.body]
-    length = len(body)
+    dest_of = columns.dest_list
+    srcs_of = columns.srcs_list
+    body_dest = [dest_of[index] for index in shape.body]
+    body_srcs = [srcs_of[index] for index in shape.body]
+    length = len(shape.body)
     last_write = {}
-    for position, instr in enumerate(body):
-        rd = instr.rd
-        if rd is not None and rd != ZERO_REG:
+    for position, rd in enumerate(body_dest):
+        if rd >= 0 and rd != ZERO_REG:
             last_write[rd] = position - length  # previous iteration
-    for position, instr in enumerate(body):
-        for src in instr.srcs:
+    for position, srcs in enumerate(body_srcs):
+        for src in srcs:
             if src == ZERO_REG:
                 continue
             writer = last_write.get(src)
             if writer is not None:
                 hist[dep_bucket(position - writer)] += 1
-        rd = instr.rd
-        if rd is not None and rd != ZERO_REG:
+        rd = body_dest[position]
+        if rd >= 0 and rd != ZERO_REG:
             last_write[rd] = position
     total = sum(hist)
     if not total:

@@ -11,6 +11,7 @@ import struct
 import time
 
 from repro.isa.assembler import TEXT_BASE
+from repro.isa.columns import columns_for
 from repro.isa.registers import NUM_REGS, REG_SP
 from repro.obs.journal import active_journal, emit_event
 from repro.obs.logging import INFO, get_logger
@@ -95,14 +96,22 @@ class FunctionalSimulator:
         self.regs[REG_SP] = program.stack_top
         self.instructions_executed = 0
         self.halted = False
-        # Pre-decode to plain tuples: (op_id, rd, rs1, rs2, imm, target).
-        self._decoded = []
-        for instr in program.instructions:
-            op_id = _OP_IDS.get(instr.opcode)
-            if op_id is None:
-                raise SimulationError(f"unimplemented opcode {instr.opcode!r}")
-            self._decoded.append((op_id, instr.rd, instr.rs1, instr.rs2,
-                                  instr.imm, instr.target))
+        # Pre-decoded (op_id, rd, rs1, rs2, imm, target) tuples, built
+        # once per *program* and shared between simulator instances via
+        # the columnar tables' derived cache.
+        columns = columns_for(program)
+        decoded = columns.derived.get("functional_decode")
+        if decoded is None:
+            decoded = []
+            for instr in program.instructions:
+                op_id = _OP_IDS.get(instr.opcode)
+                if op_id is None:
+                    raise SimulationError(
+                        f"unimplemented opcode {instr.opcode!r}")
+                decoded.append((op_id, instr.rd, instr.rs1, instr.rs2,
+                                instr.imm, instr.target))
+            columns.derived["functional_decode"] = decoded
+        self._decoded = decoded
 
     # ------------------------------------------------------------------
     def run(self, max_instructions=50_000_000, trace=False, backend=None):

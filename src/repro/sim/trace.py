@@ -19,6 +19,22 @@ import hashlib
 import numpy as np
 
 
+def write_npz(path, arrays, compress=False):
+    """Write an ``.npz`` archive; the single choke point for all trace
+    and sweep-artifact persistence.
+
+    ``compress=True`` (deflate) is worth it for long-lived trace
+    archives — dynamic traces are highly repetitive and shrink 5-10x —
+    while the artifact store's bank/digest saves sit on the cold-sweep
+    critical path, where zlib costs more wall time than the disk it
+    saves (see EXPERIMENTS.md for the measured tradeoff).
+    """
+    if compress:
+        np.savez_compressed(path, **arrays)
+    else:
+        np.savez(path, **arrays)
+
+
 class DynamicTrace:
     """Immutable dynamic instruction trace bound to its static program."""
 
@@ -72,9 +88,13 @@ class DynamicTrace:
         digest = self._content_digest
         if digest is None:
             hasher = hashlib.sha256()
-            hasher.update(np.ascontiguousarray(self.pcs).tobytes())
-            hasher.update(np.ascontiguousarray(self.addrs).tobytes())
-            hasher.update(np.ascontiguousarray(self.taken).tobytes())
+            for array in (self.pcs, self.addrs, self.taken):
+                # tobytes() on a contiguous array already serializes in
+                # C order; only non-contiguous views (sliced traces)
+                # need the defensive copy.
+                if not array.flags["C_CONTIGUOUS"]:
+                    array = np.ascontiguousarray(array)
+                hasher.update(array.tobytes())
             digest = self._content_digest = hasher.hexdigest()
         return digest
 
@@ -97,10 +117,15 @@ class DynamicTrace:
             "taken_branches": taken,
         }
 
-    def save(self, path):
-        """Persist to ``.npz`` (program is *not* saved; see ``load``)."""
-        np.savez_compressed(path, pcs=self.pcs, addrs=self.addrs,
-                            taken=self.taken)
+    def save(self, path, compress=True):
+        """Persist to ``.npz`` (program is *not* saved; see ``load``).
+
+        Compressed by default — trace archives are long-lived and
+        shrink well; pass ``compress=False`` for throwaway staging
+        files where write speed matters more than size.
+        """
+        write_npz(path, {"pcs": self.pcs, "addrs": self.addrs,
+                         "taken": self.taken}, compress=compress)
 
     @classmethod
     def load(cls, path, program):

@@ -48,6 +48,7 @@ import time
 import numpy as np
 
 from repro.isa.assembler import TEXT_BASE
+from repro.isa.columns import columns_for
 from repro.obs.journal import active_journal, emit_event
 from repro.obs.logging import INFO, get_logger
 from repro.obs.metrics import REGISTRY
@@ -776,11 +777,18 @@ class TurboProgram:
 
 
 def turbo_program(simulator):
-    """The (cached) :class:`TurboProgram` for a simulator's program."""
+    """The (cached) :class:`TurboProgram` for a simulator's program.
+
+    Lives in the shared columnar tables' derived cache so the compiled
+    regions have the same build-once-per-program lifetime as every
+    other static table (and survive ``DynamicTrace``-level cache
+    drops).
+    """
     program = simulator.program
-    cache = program.__dict__.get("_turbo_cache")
+    derived = columns_for(program).derived
+    cache = derived.get("turbo_cache")
     if cache is None:
-        cache = program._turbo_cache = {}
+        cache = derived["turbo_cache"] = {}
     mem_size = simulator.memory.size
     compiled = cache.get(mem_size)
     if compiled is None:

@@ -37,6 +37,12 @@ from repro.uarch.sweep import (
     sweep_stats_snapshot,
     trace_digest,
 )
+from repro.uarch.incremental import (
+    IncrementalPlan,
+    IncrementalSession,
+    plan_incremental,
+    plan_profile_delta,
+)
 
 __all__ = [
     "AlwaysNotTaken",
@@ -50,6 +56,8 @@ __all__ = [
     "CacheStats",
     "DESIGN_CHANGES",
     "GShare",
+    "IncrementalPlan",
+    "IncrementalSession",
     "MachineConfig",
     "PipelineModel",
     "PipelineResult",
@@ -58,6 +66,8 @@ __all__ = [
     "cache_sweep_configs",
     "estimate_power",
     "make_predictor",
+    "plan_incremental",
+    "plan_profile_delta",
     "simulate_cache",
     "simulate_cache_sweep",
     "simulate_predictor",

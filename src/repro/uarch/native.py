@@ -1,0 +1,392 @@
+"""Native scheduling loop: the sweep's timing inner loop in C.
+
+The per-config cost of a grid study is dominated by executing run()'s
+integer scheduling recurrence ~60k times per config in Python.  Every
+input to that recurrence is already columnar — the digest's event
+streams, the banks' per-access latencies, the program's decode columns
+— so the loop ports directly to a ~100-line C function over int64
+arrays with *no* per-instruction Python anywhere.
+
+This module embeds that C source (an exact port of
+``sweep._interpreted_range``, reviewed side by side and asserted
+equivalent by the corpus differential suite), compiles it once per
+machine with the system C compiler into a content-addressed shared
+library under the repro cache dir, and exposes it through ctypes.  No
+third-party packages, no CPython API: plain arrays in, mutated state
+out, so the same packed state can flow between the Python kernels, the
+interpreted tail, and the native loop mid-trace.
+
+Everything degrades gracefully: no C compiler, a failed compile, or
+``REPRO_NATIVE=off`` simply means :func:`available` is False and the
+sweep keeps using the compiled-Python kernels and steady-state
+fast-forward.  The semantics are identical either way; only the wall
+time differs.
+"""
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+
+import numpy as np
+
+from repro.isa.instructions import IClass
+from repro.obs.logging import get_logger
+
+_LOG = get_logger("repro.uarch.native")
+
+_FALSY = {"0", "off", "false", "no", "disabled"}
+
+#: The class codes are baked into the C source; fail loudly at import
+#: if the ISA enumeration ever drifts.
+assert (int(IClass.IDIV), int(IClass.FDIV), int(IClass.LOAD),
+        int(IClass.JUMP)) == (2, 5, 6, 9)
+
+_C_SOURCE = r"""
+#include <stdint.h>
+
+/* Exact port of repro.uarch.sweep._interpreted_range: run()'s
+ * scheduling recurrence over dynamic positions [low, high), consuming
+ * precomputed cache/predictor event streams by cursor.  The packed
+ * state mirrors _initial_state: 19 scalars, 64 register-ready times,
+ * the ROB/LSQ/fetch-queue rings, and the flattened FU pools. */
+int64_t repro_run_range(
+    int64_t low, int64_t high,
+    const int64_t *pcs,
+    const int32_t *st_iclass, const int32_t *st_dest,
+    const int32_t *st_src1, const int32_t *st_src2,
+    const int32_t *st_pool,
+    const int64_t *latency_of_class,
+    const int64_t *iacc_pos, const int64_t *iacc_extra, int64_t n_iacc,
+    const int64_t *m_pos, const int64_t *dacc_lat, int64_t n_mem,
+    const int64_t *b_pos, const uint8_t *b_taken, const uint8_t *b_miss,
+    int64_t n_branch,
+    int64_t width, int64_t in_order, int64_t rob_size, int64_t lsq_size,
+    int64_t fetch_queue, int64_t mispredict_penalty, int64_t decode_depth,
+    const int64_t *pool_base, const int64_t *pool_sizes,
+    int64_t *sc, int64_t *reg_ready, int64_t *rob_ring,
+    int64_t *lsq_ring, int64_t *fetchq_ring, int64_t *fus)
+{
+    int64_t i = sc[0], fetch_cycle = sc[1], fetch_used = sc[2];
+    int64_t fetch_break = sc[3], fetch_stall_until = sc[4];
+    int64_t last_issue = sc[5], last_commit = sc[6], mem_index = sc[7];
+    int64_t dispatch_cycle = sc[8], dispatch_used = sc[9];
+    int64_t commit_cycle = sc[10], commit_used = sc[11];
+    int64_t rob_stalls = sc[12], lsq_stalls = sc[13];
+    int64_t fetch_queue_stalls = sc[14], redirect_cycles = sc[15];
+    int64_t ii = sc[16], di = sc[17], bi = sc[18];
+
+    for (int64_t position = low; position < high; position++) {
+        int64_t pc = pcs[position];
+        int32_t iclass = st_iclass[pc];
+
+        /* fetch */
+        if (fetch_stall_until > fetch_cycle) {
+            redirect_cycles += fetch_stall_until - fetch_cycle;
+            fetch_cycle = fetch_stall_until;
+            fetch_used = 0;
+            fetch_break = 0;
+        }
+        if (ii < n_iacc && iacc_pos[ii] == position) {
+            int64_t extra = iacc_extra[ii];
+            ii++;
+            if (extra) {
+                fetch_cycle += extra;
+                fetch_used = 0;
+                fetch_break = 0;
+            }
+        }
+        if (fetch_break || fetch_used >= width) {
+            fetch_cycle += 1;
+            fetch_used = 0;
+            fetch_break = 0;
+        }
+        int64_t fetch_time = fetch_cycle;
+        fetch_used += 1;
+
+        int64_t queue_slot = i % fetch_queue;
+        if (fetch_time < fetchq_ring[queue_slot]) {
+            fetch_time = fetchq_ring[queue_slot];
+            fetch_cycle = fetch_time;
+            fetch_used = 1;
+            fetch_queue_stalls += 1;
+        }
+
+        /* dispatch */
+        int64_t dispatch_earliest = fetch_time + decode_depth;
+        int64_t rob_slot = i % rob_size;
+        if (rob_ring[rob_slot] > dispatch_earliest) {
+            dispatch_earliest = rob_ring[rob_slot];
+            rob_stalls += 1;
+        }
+        int is_mem = (di < n_mem && m_pos[di] == position);
+        int64_t lsq_slot = 0;
+        if (is_mem) {
+            lsq_slot = mem_index % lsq_size;
+            if (lsq_ring[lsq_slot] > dispatch_earliest) {
+                dispatch_earliest = lsq_ring[lsq_slot];
+                lsq_stalls += 1;
+            }
+        }
+        if (dispatch_earliest > dispatch_cycle) {
+            dispatch_cycle = dispatch_earliest;
+            dispatch_used = 1;
+        } else if (dispatch_used < width) {
+            dispatch_used += 1;
+        } else {
+            dispatch_cycle += 1;
+            dispatch_used = 1;
+        }
+        fetchq_ring[queue_slot] = dispatch_cycle;
+
+        /* issue */
+        int64_t ready = dispatch_cycle + 1;
+        int32_t src = st_src1[pc];
+        if (src >= 0) {
+            if (reg_ready[src] > ready) ready = reg_ready[src];
+            src = st_src2[pc];
+            if (src >= 0 && reg_ready[src] > ready) ready = reg_ready[src];
+        }
+        if (in_order && ready < last_issue) ready = last_issue;
+
+        int32_t pool = st_pool[pc];
+        int64_t base = pool_base[pool];
+        int64_t end = base + pool_sizes[pool];
+        int64_t unit = base;
+        int64_t unit_free = fus[base];
+        for (int64_t u = base + 1; u < end; u++) {
+            if (fus[u] < unit_free) {
+                unit_free = fus[u];
+                unit = u;
+            }
+        }
+        int64_t issue_time = ready > unit_free ? ready : unit_free;
+        if (in_order) last_issue = issue_time;
+
+        /* execute */
+        int64_t complete;
+        if (is_mem) {
+            complete = issue_time + (iclass == 6 ? dacc_lat[di] : 1);
+            di++;
+        } else {
+            complete = issue_time + latency_of_class[iclass];
+        }
+        fus[unit] = (iclass == 2 || iclass == 5) ? complete
+                                                 : issue_time + 1;
+        int32_t dest = st_dest[pc];
+        if (dest >= 0) reg_ready[dest] = complete;
+
+        /* control flow */
+        if (bi < n_branch && b_pos[bi] == position) {
+            if (b_miss[bi]) {
+                int64_t redirect = complete + mispredict_penalty;
+                if (redirect > fetch_stall_until)
+                    fetch_stall_until = redirect;
+            } else if (b_taken[bi]) {
+                fetch_break = 1;
+            }
+            bi++;
+        } else if (iclass == 9) {
+            fetch_break = 1;
+        }
+
+        /* commit */
+        int64_t commit_earliest = complete + 1;
+        if (commit_earliest < last_commit) commit_earliest = last_commit;
+        if (commit_earliest > commit_cycle) {
+            commit_cycle = commit_earliest;
+            commit_used = 1;
+        } else if (commit_used < width) {
+            commit_used += 1;
+        } else {
+            commit_cycle += 1;
+            commit_used = 1;
+        }
+        last_commit = commit_cycle;
+        rob_ring[rob_slot] = commit_cycle;
+        if (is_mem) {
+            lsq_ring[lsq_slot] = commit_cycle;
+            mem_index += 1;
+        }
+        i += 1;
+    }
+
+    sc[0] = i; sc[1] = fetch_cycle; sc[2] = fetch_used;
+    sc[3] = fetch_break; sc[4] = fetch_stall_until;
+    sc[5] = last_issue; sc[6] = last_commit; sc[7] = mem_index;
+    sc[8] = dispatch_cycle; sc[9] = dispatch_used;
+    sc[10] = commit_cycle; sc[11] = commit_used;
+    sc[12] = rob_stalls; sc[13] = lsq_stalls;
+    sc[14] = fetch_queue_stalls; sc[15] = redirect_cycles;
+    sc[16] = ii; sc[17] = di; sc[18] = bi;
+    return 0;
+}
+"""
+
+_I64 = ctypes.POINTER(ctypes.c_int64)
+_I32 = ctypes.POINTER(ctypes.c_int32)
+_U8 = ctypes.POINTER(ctypes.c_uint8)
+
+#: None = not yet probed, False = unavailable, else the ctypes function.
+_RUN_RANGE = None
+
+
+def _enabled():
+    return os.environ.get("REPRO_NATIVE", "").strip().lower() not in _FALSY
+
+
+def _cache_dir():
+    from repro.exec.store import default_cache_dir
+    return os.path.join(default_cache_dir(), "native")
+
+
+def _compile_library():
+    """Build (or reuse) the content-addressed shared library; its path.
+
+    Keyed by source hash so any edit to the C loop rebuilds cleanly;
+    concurrent builders race benignly through a temp-file rename.
+    """
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    directory = _cache_dir()
+    library = os.path.join(directory, f"sweeploop-{digest}.so")
+    if os.path.exists(library):
+        return library
+    os.makedirs(directory, exist_ok=True)
+    fd, source_path = tempfile.mkstemp(suffix=".c", dir=directory)
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(_C_SOURCE)
+        staged = source_path[:-2] + ".so"
+        subprocess.run(
+            ["cc", "-O2", "-shared", "-fPIC", "-o", staged, source_path],
+            check=True, capture_output=True, timeout=120)
+        os.replace(staged, library)
+    finally:
+        for leftover in (source_path, source_path[:-2] + ".so"):
+            if os.path.exists(leftover):
+                try:
+                    os.remove(leftover)
+                except OSError:
+                    pass
+    return library
+
+
+def _load():
+    """The ctypes entry point, probing/compiling on first use."""
+    global _RUN_RANGE
+    if _RUN_RANGE is not None:
+        return _RUN_RANGE or None
+    if not _enabled():
+        _RUN_RANGE = False
+        return None
+    try:
+        library = ctypes.CDLL(_compile_library())
+        run_range = library.repro_run_range
+        run_range.restype = ctypes.c_int64
+        run_range.argtypes = [
+            ctypes.c_int64, ctypes.c_int64,                    # low, high
+            _I64,                                              # pcs
+            _I32, _I32, _I32, _I32, _I32,                      # static
+            _I64,                                              # latencies
+            _I64, _I64, ctypes.c_int64,                        # iacc
+            _I64, _I64, ctypes.c_int64,                        # dacc
+            _I64, _U8, _U8, ctypes.c_int64,                    # branches
+            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            ctypes.c_int64,                                    # config
+            _I64, _I64,                                        # pools
+            _I64, _I64, _I64, _I64, _I64, _I64,                # state
+        ]
+        _RUN_RANGE = run_range
+    except (OSError, subprocess.SubprocessError, ValueError) as exc:
+        _LOG.warning("native.unavailable", error=str(exc))
+        _RUN_RANGE = False
+        return None
+    return _RUN_RANGE
+
+
+def available():
+    """Whether the native loop can be used (compiles lazily)."""
+    return _load() is not None
+
+
+def reset():
+    """Forget the probe result (tests toggling REPRO_NATIVE)."""
+    global _RUN_RANGE
+    _RUN_RANGE = None
+
+
+def _static_columns(columns):
+    """C-facing int32 copies of the decode columns, built once."""
+    cached = columns.derived.get("native_static")
+    if cached is None:
+        cached = (
+            columns.iclass.astype(np.int32),
+            columns.dest.astype(np.int32),
+            columns.src1.astype(np.int32),
+            columns.src2.astype(np.int32),
+            np.asarray(columns.pool_list, dtype=np.int32),
+        )
+        columns.derived["native_static"] = cached
+    return cached
+
+
+def _ptr64(array):
+    return array.ctypes.data_as(_I64)
+
+
+def run_range(low, high, digest, config, cache_bank, pred_bank, state):
+    """Drop-in replacement for ``_interpreted_range`` via the C loop.
+
+    Packs the scheduling state into int64 scratch arrays, runs the
+    native loop, and unpacks — so callers can mix native and Python
+    execution of the same trace at any boundary.
+    """
+    run = _load()
+    iclass, dest, src1, src2, pool = _static_columns(
+        digest.static.columns)
+    latencies = np.array(
+        (config.latency_ialu, config.latency_imul, config.latency_idiv,
+         config.latency_falu, config.latency_fmul, config.latency_fdiv,
+         0, 1, config.latency_ialu, config.latency_ialu,
+         config.latency_ialu), dtype=np.int64)
+    iacc_pos, _ = digest.iacc(cache_bank.shift)
+    sizes = np.array(
+        (config.n_int_alu, config.n_int_mul, config.n_fp_alu,
+         config.n_fp_mul, config.n_mem_ports), dtype=np.int64)
+    base = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+
+    scalars = np.array([int(value) for value in state[0]], dtype=np.int64)
+    reg_ready = np.array(state[1], dtype=np.int64)
+    rob_ring = np.array(state[2], dtype=np.int64)
+    lsq_ring = np.array(state[3], dtype=np.int64)
+    fetchq_ring = np.array(state[4], dtype=np.int64)
+    fus = np.array(state[5], dtype=np.int64)
+
+    run(low, high, _ptr64(digest.pcs),
+        iclass.ctypes.data_as(_I32), dest.ctypes.data_as(_I32),
+        src1.ctypes.data_as(_I32), src2.ctypes.data_as(_I32),
+        pool.ctypes.data_as(_I32), _ptr64(latencies),
+        _ptr64(iacc_pos), _ptr64(cache_bank.iacc_extra), len(iacc_pos),
+        _ptr64(digest.m_pos), _ptr64(cache_bank.dacc_lat),
+        len(digest.m_pos), _ptr64(digest.b_pos),
+        digest.b_taken.ctypes.data_as(_U8),
+        pred_bank.miss.ctypes.data_as(_U8), len(digest.b_pos),
+        config.width, int(config.in_order), config.rob_size,
+        config.lsq_size, config.fetch_queue, config.mispredict_penalty,
+        _decode_depth(), _ptr64(base), _ptr64(sizes),
+        _ptr64(scalars), _ptr64(reg_ready), _ptr64(rob_ring),
+        _ptr64(lsq_ring), _ptr64(fetchq_ring), _ptr64(fus))
+
+    state[0] = tuple(int(value) for value in scalars)
+    state[1] = reg_ready.tolist()
+    state[2] = rob_ring.tolist()
+    state[3] = lsq_ring.tolist()
+    state[4] = fetchq_ring.tolist()
+    state[5] = tuple(fus.tolist())
+
+
+def _decode_depth():
+    from repro.uarch.pipeline import DECODE_DEPTH
+    return DECODE_DEPTH

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.isa.columns import columns_for
 from repro.isa.instructions import IClass
 from repro.obs.logging import get_logger
 from repro.obs.metrics import REGISTRY
@@ -156,38 +157,39 @@ class PipelineModel:
             "fmul": [0] * config.n_fp_mul,
             "mem": [0] * config.n_mem_ports,
         }
-        pool_of_class = {
-            IClass.IALU: "ialu", IClass.IMUL: "imul", IClass.IDIV: "imul",
-            IClass.FALU: "falu", IClass.FMUL: "fmul", IClass.FDIV: "fmul",
-            IClass.LOAD: "mem", IClass.STORE: "mem",
-            IClass.BRANCH: "ialu", IClass.JUMP: "ialu", IClass.OTHER: "ialu",
-        }
-        unpipelined = (IClass.IDIV, IClass.FDIV)
-
-        # Parallel per-pc decode tables: one tuple index per field
-        # actually used on a path, instead of unpacking a 5-tuple and
-        # re-deriving class properties every instruction.
-        load_class = int(IClass.LOAD)
-        store_class = int(IClass.STORE)
-        jump_class = int(IClass.JUMP)
-        instructions = program.instructions
-        st_iclass = tuple(int(instr.iclass) for instr in instructions)
-        st_dest = tuple(instr.rd if instr.rd is not None else -1
-                        for instr in instructions)
-        st_srcs = tuple(instr.srcs for instr in instructions)
-        st_latency = tuple(latency_of_class[instr.iclass]
-                           for instr in instructions)
-        st_line = tuple(program.pc_address(index) >> line_shift
-                        for index in range(len(instructions)))
-        st_pool = tuple(fu_pools[pool_of_class[instr.iclass]]
-                        for instr in instructions)
-        st_multi = tuple(len(pool) > 1 for pool in st_pool)
-        st_unpip = tuple(instr.iclass in unpipelined
-                         for instr in instructions)
-        st_is_load = tuple(ic == load_class for ic in st_iclass)
-        st_is_mem = tuple(ic == load_class or ic == store_class
-                          for ic in st_iclass)
-        st_is_jump = tuple(ic == jump_class for ic in st_iclass)
+        # Parallel per-pc decode tables.  Static fields come straight
+        # off the shared columnar program view (built once per program
+        # per process); only the genuinely config-dependent tables —
+        # per-class latencies, I-cache line ids, and the bindings to
+        # this run's mutable FU pool lists — are derived per call, from
+        # the columns, never from Instruction objects.
+        columns = columns_for(program)
+        st_iclass = columns.iclass_list
+        st_dest = columns.dest_list
+        st_srcs = columns.srcs_list
+        st_latency = [latency_of_class[klass] for klass in st_iclass]
+        st_line = (columns.pc_addresses >> line_shift).tolist()
+        pool_lists = (fu_pools["ialu"], fu_pools["imul"], fu_pools["falu"],
+                      fu_pools["fmul"], fu_pools["mem"])
+        st_pool = [pool_lists[pool] for pool in columns.pool_list]
+        st_multi = [len(pool) > 1 for pool in st_pool]
+        st_unpip = columns.derived.get("unpipelined")
+        if st_unpip is None:
+            st_unpip = columns.derived["unpipelined"] = [
+                klass in (int(IClass.IDIV), int(IClass.FDIV))
+                for klass in st_iclass]
+        st_is_load = columns.derived.get("is_load_list")
+        if st_is_load is None:
+            st_is_load = columns.derived["is_load_list"] = \
+                columns.is_load.tolist()
+        st_is_mem = columns.derived.get("is_mem_list")
+        if st_is_mem is None:
+            st_is_mem = columns.derived["is_mem_list"] = \
+                columns.is_mem.tolist()
+        st_is_jump = columns.derived.get("is_jump_list")
+        if st_is_jump is None:
+            st_is_jump = columns.derived["is_jump_list"] = \
+                columns.is_jump.tolist()
 
         pcs = trace.pcs.tolist()
         addrs = trace.addrs.tolist()
@@ -198,9 +200,8 @@ class PipelineModel:
 
         class_counts = [0] * IClass.COUNT
         if total:
-            histogram = np.bincount(
-                np.asarray(st_iclass, dtype=np.int64)[trace.pcs[:total]],
-                minlength=IClass.COUNT)
+            histogram = np.bincount(columns.iclass[trace.pcs[:total]],
+                                    minlength=IClass.COUNT)
             class_counts = [int(count) for count in histogram]
 
         reg_ready = [0] * 64

@@ -1,0 +1,416 @@
+"""Steady-state detection and exact fast-forward for the sweep engine.
+
+A capped trace of a loopy program spends almost all of its instructions
+in a periodic steady state: the block-visit sequence repeats, the
+cache/predictor event streams repeat, and — once the period is extended
+so every ring buffer returns to the same slot alignment — the packed
+scheduling state advances by a *constant* delta per period (every live
+cycle-valued component shifts by the same number of cycles, counters
+and event cursors advance by fixed strides).  From that point on,
+executing another period is a no-op re-derivation: the remaining k
+periods can be applied in O(1) as ``state += k * delta``.
+
+The catch is exactness — the sweep contract is bit-identity with
+``PipelineModel.run`` — so every step is either *verified on the trace*
+or *proved dead*:
+
+* **Segment detection** (:func:`find_segment`) finds the longest visit
+  range where the block sequence is periodic at some lag ``p`` AND all
+  four event streams (I-access extra latencies, data-access latencies,
+  branch mispredicts, branch taken flags) repeat in both position and
+  value.  This is vectorized numpy over the whole trace, so the
+  extrapolated periods are known — not assumed — to see the same
+  inputs as the verified ones.
+* **Alignment** (:func:`plan`) extends the period so the ROB, LSQ and
+  fetch-queue rings index the same slots every period (a multiple of
+  each ring's slot-cycle length), which is what lets the per-slot state
+  deltas be constant at all.
+* **Classification** (:func:`classify`) takes three state snapshots one
+  extended period apart and accepts only when both transitions have
+  identical elementwise deltas, every live cycle component shifts by
+  one common ``c``, bandwidth/mode scalars are exactly equal, and every
+  *non*-shifting (frozen) component is provably dead: its value is at
+  or below a floor that every future scheduling comparison exceeds
+  (fetch/dispatch cycles only grow), so it can never win a comparison
+  it did not already win in the verified periods.  Anything else —
+  a predictor still warming up, a frozen FU in a live pool that a
+  growing free time could overtake, a drifting stall counter — is
+  rejected and the config simply keeps executing.
+
+Rejection costs two period executions; acceptance replaces the bulk of
+the timing loop.  ``tests/test_uarch_sweep.py`` and
+``tests/test_steady.py`` assert the fast-forwarded results stay
+bit-identical across the corpus and the design-change grid.
+"""
+
+import math
+
+import numpy as np
+
+from repro.isa.columns import POOL_OF_CLASS
+
+#: Don't hunt for periodicity in traces with fewer complete visits.
+MIN_SEGMENT_VISITS = 256
+#: Longest block-visit period considered.
+MAX_PERIOD_VISITS = 64
+#: Fast-forward must cover at least this many extended periods beyond
+#: the two verification windows to be worth the snapshots.
+MIN_FF_PERIODS = 4
+#: Extra verification slides allowed while the pipeline drains its
+#: warmup transient before classification gives up.
+MAX_CLASSIFY_TRIES = 4
+
+#: Scalar-state indices (see the kernel prologue/_initial_state):
+#: cycle-valued components that must all shift by the common ``c``.
+_SHIFT_SCALARS = (1, 6, 8, 10)   # fetch, last_commit, dispatch, commit
+#: Bandwidth/mode scalars that must be exactly equal across snapshots.
+_MODE_SCALARS = (2, 3, 9, 11)    # fetch_used/break, dispatch/commit_used
+
+
+class Segment:
+    """A verified periodic visit range: for every visit ``v`` in
+    ``[start + period, end)``, block ``v`` equals block ``v - period``
+    and the event streams repeat with the matching instruction lag."""
+
+    __slots__ = ("period", "start", "end")
+
+    def __init__(self, period, start, end):
+        self.period = period
+        self.start = start
+        self.end = end
+
+
+class Plan:
+    """One config's alignment of a segment: ``ext_visits`` is the
+    ring-aligned extended period, ``limit`` the last visit extrapolation
+    may reach (segment end capped by the kernel prefix)."""
+
+    __slots__ = ("anchor", "ext_visits", "ext_instr", "limit")
+
+    def __init__(self, anchor, ext_visits, ext_instr, limit):
+        self.anchor = anchor
+        self.ext_visits = ext_visits
+        self.ext_instr = ext_instr
+        self.limit = limit
+
+
+# ----------------------------------------------------------------------
+# Segment detection
+# ----------------------------------------------------------------------
+def _longest_run(mask):
+    """(start, end) of the longest run of True, (0, 0) when none."""
+    if not mask.any():
+        return 0, 0
+    padded = np.empty(len(mask) + 2, dtype=np.int8)
+    padded[0] = padded[-1] = 0
+    padded[1:-1] = mask
+    edges = np.diff(padded)
+    starts = np.nonzero(edges == 1)[0]
+    ends = np.nonzero(edges == -1)[0]
+    best = int(np.argmax(ends - starts))
+    return int(starts[best]), int(ends[best])
+
+
+def _candidate_periods(visits):
+    """Likely visit periods: the gap structure of the hottest block.
+
+    A loop's most-visited block recurs once per iteration, so the
+    dominant gaps between its occurrences (and small sums/multiples of
+    them, for unrolled or alternating iterations) are the only lags
+    worth scoring — a full autocorrelation over every lag would cost
+    more than the fast-forward saves.
+    """
+    candidates = {1, 2, 3, 4}
+    occurrences = np.nonzero(visits == np.argmax(np.bincount(visits)))[0]
+    if len(occurrences) >= 8:
+        gaps = np.diff(occurrences)
+        values, counts = np.unique(gaps, return_counts=True)
+        top = values[np.argsort(-counts)][:3]
+        for gap in top:
+            gap = int(gap)
+            if 1 <= gap <= MAX_PERIOD_VISITS:
+                candidates.add(gap)
+                if gap * 2 <= MAX_PERIOD_VISITS:
+                    candidates.add(gap * 2)
+        if len(top) >= 2 and int(top[0] + top[1]) <= MAX_PERIOD_VISITS:
+            candidates.add(int(top[0] + top[1]))
+    return sorted(candidates)
+
+
+def _visit_run(digest, shift):
+    """Longest lag-``p`` self-match of (visit blocks, visit-first-I-access)
+    over the complete-visit region; cached per digest and line size.
+
+    Returns ``(p, lo, hi)`` — matches hold for visits in ``[lo, hi)`` —
+    or None.  Config-independent apart from the I-line size, so every
+    hierarchy/predictor combination shares it.
+    """
+    cached = digest.steady_runs.get(shift)
+    if cached is not None:
+        return cached or None
+    result = None
+    visits = digest.visit_blocks[:digest.complete_visits]
+    if len(visits) >= MIN_SEGMENT_VISITS:
+        flags = np.zeros(digest.n, dtype=bool)
+        flags[digest.iacc(shift)[0]] = True
+        vfi = flags[digest.visit_starts[:len(visits)]]
+        best = None
+        for period in _candidate_periods(visits):
+            if period * 4 >= len(visits):
+                continue
+            ok = visits[period:] == visits[:-period]
+            ok &= vfi[period:] == vfi[:-period]
+            start, end = _longest_run(ok)
+            if best is None or end - start > best[2] - best[1]:
+                best = (period, start, end)
+        if best is not None:
+            period, start, end = best
+            lo, hi = start + period, end + period
+            if hi - lo >= max(MIN_SEGMENT_VISITS, 4 * period):
+                result = (period, lo, hi)
+    digest.steady_runs[shift] = result if result is not None else False
+    return result
+
+
+def _event_violations(positions, values, pos_lo, pos_hi, lag):
+    """Instruction positions where a (position, value) event stream
+    breaks lag-``lag`` periodicity inside ``[pos_lo, pos_hi)``.
+
+    Forward check: every event in the window must have a partner event
+    exactly one period earlier with the same value (catches inserted
+    events and changed outcomes).  Reverse check: every event one
+    period earlier must recur (catches deleted events).
+    """
+    lo = int(np.searchsorted(positions, pos_lo, side="left"))
+    hi = int(np.searchsorted(positions, pos_hi, side="left"))
+    current = positions[lo:hi]
+    if len(current) == 0:
+        # No events in the window: any event one period back would have
+        # had to recur, so report those positions as violations.
+        prev_lo = int(np.searchsorted(positions, pos_lo - lag, "left"))
+        prev_hi = int(np.searchsorted(positions, pos_hi - lag, "left"))
+        return positions[prev_lo:prev_hi] + lag
+    wanted = current - lag
+    partner = np.clip(np.searchsorted(positions, wanted, side="left"),
+                      0, len(positions) - 1)
+    ok = (positions[partner] == wanted) & (values[partner] == values[lo:hi])
+    bad_forward = current[~ok]
+    prev_lo = int(np.searchsorted(positions, pos_lo - lag, side="left"))
+    prev_hi = int(np.searchsorted(positions, pos_hi - lag, side="left"))
+    previous = positions[prev_lo:prev_hi]
+    expected = previous + lag
+    successor = np.clip(np.searchsorted(positions, expected, side="left"),
+                        0, len(positions) - 1)
+    bad_reverse = expected[positions[successor] != expected]
+    if len(bad_forward) == 0 and len(bad_reverse) == 0:
+        return bad_forward
+    return np.concatenate((bad_forward, bad_reverse))
+
+
+def _visit_pos(digest, visit):
+    if visit < len(digest.visit_starts):
+        return int(digest.visit_starts[visit])
+    return digest.n
+
+
+def find_segment(digest, shift, cache_bank, pred_bank):
+    """The longest fully verified periodic segment, or None.
+
+    Verifies block-visit periodicity (shared across configs) and then
+    the four event streams this hierarchy/predictor pair will actually
+    consume; violations shrink the segment to the largest clean gap.
+    """
+    run = _visit_run(digest, shift)
+    if run is None:
+        return None
+    period, lo, hi = run
+    starts = digest.visit_starts
+    pos_lo = int(starts[lo])
+    pos_hi = _visit_pos(digest, hi)
+    lag = pos_lo - int(starts[lo - period])
+    if lag <= 0:
+        return None
+    iacc_pos, _ = digest.iacc(shift)
+    violations = [
+        _event_violations(iacc_pos, cache_bank.iacc_extra,
+                          pos_lo, pos_hi, lag),
+        _event_violations(digest.m_pos, cache_bank.dacc_lat,
+                          pos_lo, pos_hi, lag),
+        _event_violations(digest.b_pos, pred_bank.miss,
+                          pos_lo, pos_hi, lag),
+        _event_violations(digest.b_pos, digest.b_taken,
+                          pos_lo, pos_hi, lag),
+    ]
+    bad_positions = np.concatenate(violations)
+    if len(bad_positions):
+        # Largest violation-free visit interval within [lo, hi).
+        bad_visits = np.searchsorted(starts, np.unique(bad_positions),
+                                     side="right") - 1
+        bad_visits = np.unique(np.clip(bad_visits, lo, hi - 1))
+        points = np.concatenate(([lo - 1], bad_visits, [hi]))
+        gaps = np.diff(points)
+        best = int(np.argmax(gaps))
+        lo, hi = int(points[best]) + 1, int(points[best + 1])
+        if hi - lo < max(MIN_SEGMENT_VISITS, 4 * period):
+            return None
+    return Segment(period, lo - period, hi)
+
+
+# ----------------------------------------------------------------------
+# Per-config alignment
+# ----------------------------------------------------------------------
+def plan(segment, config, digest, v_stop):
+    """Ring-align the segment for one config; None when not worth it.
+
+    The extended period is the base visit period times the least common
+    slot-cycle of the three rings: after ``ext_visits`` visits the ROB
+    and fetch queue (indexed by instruction count) and the LSQ (indexed
+    by memory-op count) address exactly the same slots again, which is
+    a precondition for the per-slot deltas to be constant.
+    """
+    starts = digest.visit_starts
+    period = segment.period
+    anchor = segment.start
+    instr = int(starts[anchor + period]) - int(starts[anchor])
+    if instr <= 0:
+        return None
+    mem = int(np.searchsorted(digest.m_pos, starts[anchor + period])
+              - np.searchsorted(digest.m_pos, starts[anchor]))
+    multiplier = 1
+    for size, stride in ((config.rob_size, instr),
+                         (config.fetch_queue, instr),
+                         (config.lsq_size, mem)):
+        multiplier = math.lcm(multiplier, size // math.gcd(stride, size))
+    ext_visits = period * multiplier
+    limit = min(segment.end, v_stop)
+    if ext_visits <= 0 or (limit - anchor) // ext_visits < 2 + MIN_FF_PERIODS:
+        return None
+    return Plan(anchor, ext_visits, instr * multiplier, limit)
+
+
+def pools_used(segment, digest):
+    """Which FU pools issue at least once per period (static block mix)."""
+    blocks = digest.visit_blocks[segment.start:segment.start
+                                 + segment.period]
+    mix = digest.static.columns.mix_matrix()[blocks].sum(axis=0)
+    used = [False] * 5
+    for klass, count in enumerate(mix):
+        if count:
+            used[POOL_OF_CLASS[klass]] = True
+    return tuple(used)
+
+
+# ----------------------------------------------------------------------
+# Snapshot / classify / extrapolate
+# ----------------------------------------------------------------------
+def snapshot(state):
+    """Immutable copy of the packed scheduling state."""
+    return (state[0], tuple(state[1]), tuple(state[2]), tuple(state[3]),
+            tuple(state[4]), state[5])
+
+
+def _array_deltas(first, second, third, c_shift, floor):
+    """Per-slot deltas for one state array, or None.
+
+    Each slot must either shift by the common ``c`` both times (live) or
+    stay exactly constant at a value at or below ``floor`` (dead: every
+    comparison it participates in is against a quantity that never
+    drops below the floor again, so it keeps losing forever).
+    """
+    deltas = []
+    for a, b, c in zip(first, second, third):
+        delta = b - a
+        if c - b != delta:
+            return None
+        if delta == 0:
+            if a > floor:
+                return None
+        elif delta != c_shift:
+            return None
+        deltas.append(delta)
+    return deltas
+
+
+def classify(s_a, s_b, s_c, config, used_pools):
+    """The per-period state delta, or None when not provably steady.
+
+    ``s_a``/``s_b``/``s_c`` are snapshots exactly one extended period
+    apart.  Acceptance requires both transitions to agree elementwise
+    and every component to fall into a proven-exact category (see the
+    module docstring); the returned delta then holds for *every*
+    further period inside the verified segment.
+    """
+    a0, b0, c0 = s_a[0], s_b[0], s_c[0]
+    scalar_deltas = tuple(b - a for a, b in zip(a0, b0))
+    if tuple(c - b for b, c in zip(b0, c0)) != scalar_deltas:
+        return None
+    c_shift = scalar_deltas[1]
+    if c_shift <= 0:
+        return None
+    for index in _MODE_SCALARS:
+        if scalar_deltas[index] != 0:
+            return None
+    for index in _SHIFT_SCALARS:
+        if scalar_deltas[index] != c_shift:
+            return None
+    # fetch_stall_until: shifts with the redirect stream, or is a stale
+    # value at/below the fetch cycle (only ever compared via
+    # `> fetch_cycle`, which monotonically grows past it).
+    if scalar_deltas[4] != c_shift \
+            and not (scalar_deltas[4] == 0 and a0[4] <= a0[1]):
+        return None
+    # last_issue: written per instruction when in-order (must shift);
+    # never read otherwise (any frozen value is dead).
+    if scalar_deltas[5] != c_shift \
+            and (config.in_order or scalar_deltas[5] != 0):
+        return None
+    floor_ring = a0[1]      # fetch_cycle at the first snapshot
+    floor_reg = a0[8] + 1   # dispatch_cycle + 1 lower-bounds `ready`
+    reg_deltas = _array_deltas(s_a[1], s_b[1], s_c[1], c_shift, floor_reg)
+    rob_deltas = _array_deltas(s_a[2], s_b[2], s_c[2], c_shift, floor_ring)
+    lsq_deltas = _array_deltas(s_a[3], s_b[3], s_c[3], c_shift, floor_ring)
+    fq_deltas = _array_deltas(s_a[4], s_b[4], s_c[4], c_shift, floor_ring)
+    if None in (reg_deltas, rob_deltas, lsq_deltas, fq_deltas):
+        return None
+    # FU pools: a pool that issues during the period must have *every*
+    # unit shifting — a frozen unit only loses the min-scan while the
+    # live units' free times are below it, and those grow without
+    # bound, so it would eventually be picked and change the schedule.
+    # Unused pools are never scanned; any frozen values are dead.
+    sizes = (config.n_int_alu, config.n_int_mul, config.n_fp_alu,
+             config.n_fp_mul, config.n_mem_ports)
+    fu_deltas = []
+    offset = 0
+    for pool, count in enumerate(sizes):
+        for unit in range(offset, offset + count):
+            delta = s_b[5][unit] - s_a[5][unit]
+            if s_c[5][unit] - s_b[5][unit] != delta:
+                return None
+            if used_pools[pool]:
+                if delta != c_shift:
+                    return None
+            elif delta != 0:
+                return None
+            fu_deltas.append(delta)
+        offset += count
+    return (scalar_deltas, reg_deltas, rob_deltas, lsq_deltas, fq_deltas,
+            fu_deltas)
+
+
+def apply_delta(state, delta, periods):
+    """Advance the packed state by ``periods`` steady periods, exactly
+    as executing them would."""
+    (scalar_deltas, reg_deltas, rob_deltas, lsq_deltas, fq_deltas,
+     fu_deltas) = delta
+    state[0] = tuple(value + periods * step
+                     for value, step in zip(state[0], scalar_deltas))
+    state[1] = [value + periods * step
+                for value, step in zip(state[1], reg_deltas)]
+    state[2] = [value + periods * step
+                for value, step in zip(state[2], rob_deltas)]
+    state[3] = [value + periods * step
+                for value, step in zip(state[3], lsq_deltas)]
+    state[4] = [value + periods * step
+                for value, step in zip(state[4], fq_deltas)]
+    state[5] = tuple(value + periods * step
+                     for value, step in zip(state[5], fu_deltas))

@@ -47,11 +47,14 @@ import time
 
 import numpy as np
 
+from repro.isa.columns import columns_for
 from repro.isa.instructions import IClass
+from repro.sim.trace import write_npz
 from repro.obs.journal import emit_event
 from repro.obs.logging import get_logger
 from repro.obs.metrics import REGISTRY
 from repro.obs.timing import span
+from repro.uarch import native, steady
 from repro.uarch.branch_predictors import predictor_outcome_bank
 from repro.uarch.cache import per_access_hits
 from repro.uarch.pipeline import DECODE_DEPTH, PipelineResult
@@ -65,6 +68,10 @@ BANK_SCHEMA_VERSION = 1
 #: Traces shorter than this are not worth a store round-trip.
 _PERSIST_MIN_INSTRUCTIONS = 10_000
 
+#: Below this cut the timing loop is cheaper than steady-state
+#: detection + verification snapshots, so fast-forward is skipped.
+_STEADY_MIN_INSTRUCTIONS = 20_000
+
 _LOAD = int(IClass.LOAD)
 _STORE = int(IClass.STORE)
 _BRANCH = int(IClass.BRANCH)
@@ -72,15 +79,9 @@ _JUMP = int(IClass.JUMP)
 _IDIV = int(IClass.IDIV)
 _FDIV = int(IClass.FDIV)
 
-#: Functional-unit pools in state order; mirrors PipelineModel.run's
-#: fu_pools/pool_of_class tables.
+#: Functional-unit pools in state order; the class->pool mapping lives
+#: with the shared columnar tables (repro.isa.columns.POOL_OF_CLASS).
 _POOL_NAMES = ("ialu", "imul", "falu", "fmul", "mem")
-_POOL_OF_CLASS = {
-    int(IClass.IALU): 0, int(IClass.IMUL): 1, int(IClass.IDIV): 1,
-    int(IClass.FALU): 2, int(IClass.FMUL): 3, int(IClass.FDIV): 3,
-    int(IClass.LOAD): 4, int(IClass.STORE): 4,
-    int(IClass.BRANCH): 0, int(IClass.JUMP): 0, int(IClass.OTHER): 0,
-}
 
 
 # ----------------------------------------------------------------------
@@ -94,10 +95,15 @@ _INT_STATS = (
     "pred_banks_built", "pred_banks_reused", "pred_banks_loaded",
     "pred_banks_saved",
     "kernels_compiled", "kernels_reused", "kernels_loaded",
-    "kernels_saved", "fallback_configs",
+    "kernels_saved", "fallback_configs", "native_configs",
     "distinct_hierarchies", "distinct_predictors",
+    "steady_segments", "steady_ff_configs", "steady_ff_instructions",
+    "steady_rejects",
+    "incremental_plans", "incremental_full_rebuilds",
+    "incremental_reused_artifacts", "incremental_rebuilt_artifacts",
 )
-_FLOAT_STATS = ("codegen_seconds", "config_seconds", "grid_seconds")
+_FLOAT_STATS = ("codegen_seconds", "config_seconds", "grid_seconds",
+                "steady_seconds")
 
 _SWEEP_STATS = {key: 0 for key in _INT_STATS}
 _SWEEP_STATS.update({key: 0.0 for key in _FLOAT_STATS})
@@ -136,76 +142,50 @@ def reset_sweep_stats():
 # Static per-program tables
 # ----------------------------------------------------------------------
 class _StaticTables:
-    """Decode/block tables shared by every digest of one program."""
+    """Sweep-facing view of the shared :class:`ProgramColumns`.
+
+    A pure field-renaming adapter — no per-instruction work happens
+    here; every array is the columns' own (iclass widened to int64 for
+    the bincount/codegen paths that always used that dtype).  The
+    kernels assume blocks tile the program in bid order with control
+    transfers only in the block-last slot (``structure_ok``); anything
+    else routes through the interpreted fallback.
+    """
 
     __slots__ = (
         "n", "pc_addresses", "iclass", "iclass_list", "dest_list",
         "srcs_list", "pool_list", "is_mem", "is_cond", "block_start",
         "block_id", "block_bounds", "block_size", "structure_ok",
-        "_fingerprint",
+        "columns",
     )
+
+    def __init__(self, columns):
+        self.columns = columns
+        self.n = columns.n
+        self.pc_addresses = columns.pc_addresses
+        self.iclass = columns.iclass.astype(np.int64)
+        self.iclass_list = columns.iclass_list
+        self.dest_list = columns.dest_list
+        self.srcs_list = columns.srcs_list
+        self.pool_list = columns.pool_list
+        self.is_mem = columns.is_mem
+        self.is_cond = columns.is_cond
+        self.block_start = columns.is_block_start
+        self.block_id = columns.block_of
+        self.block_bounds = columns.block_bounds
+        self.block_size = columns.block_size
+        self.structure_ok = columns.structure_ok
 
     def fingerprint(self):
         """Content hash of everything the kernels/banks depend on."""
-        cached = self._fingerprint
-        if cached is None:
-            hasher = hashlib.sha256()
-            hasher.update(self.pc_addresses.tobytes())
-            hasher.update(self.iclass.tobytes())
-            hasher.update(np.asarray(self.dest_list,
-                                     dtype=np.int64).tobytes())
-            hasher.update(repr(self.srcs_list).encode())
-            hasher.update(repr(self.block_bounds).encode())
-            cached = self._fingerprint = hasher.hexdigest()
-        return cached
+        return self.columns.fingerprint()
 
 
 def _static_tables(program):
     cached = getattr(program, "_sweep_static", None)
     if cached is not None:
         return cached
-    static = _StaticTables()
-    instructions = program.instructions
-    n = static.n = len(instructions)
-    static.pc_addresses = np.array(
-        [program.pc_address(index) for index in range(n)], dtype=np.int64)
-    static.iclass = np.array([int(instr.iclass) for instr in instructions],
-                             dtype=np.int64)
-    static.iclass_list = static.iclass.tolist()
-    static.dest_list = [instr.rd if instr.rd is not None else -1
-                        for instr in instructions]
-    static.srcs_list = [tuple(instr.srcs) for instr in instructions]
-    static.pool_list = [_POOL_OF_CLASS[klass]
-                        for klass in static.iclass_list]
-    static.is_mem = (static.iclass == _LOAD) | (static.iclass == _STORE)
-    static.is_cond = np.array(
-        [bool(instr.is_cond_branch) for instr in instructions], dtype=bool)
-    static._fingerprint = None
-
-    blocks = program.basic_blocks()
-    static.block_bounds = [(block.start, block.end) for block in blocks]
-    static.block_start = np.zeros(n, dtype=bool)
-    static.block_id = np.zeros(n, dtype=np.int64)
-    static.block_size = np.array(
-        [end - start for start, end in static.block_bounds], dtype=np.int64)
-    # The kernels assume blocks tile the program in bid order with
-    # control transfers only in the block-last slot; anything else
-    # routes through the interpreted fallback.
-    ok = bool(n)
-    covered = 0
-    for bid, block in enumerate(blocks):
-        if block.bid != bid or block.end <= block.start:
-            ok = False
-            break
-        static.block_start[block.start] = True
-        static.block_id[block.start:block.end] = bid
-        covered += block.end - block.start
-        for index in range(block.start, block.end - 1):
-            klass = static.iclass_list[index]
-            if (static.is_cond[index] or klass == _BRANCH
-                    or klass == _JUMP):
-                ok = False
-    static.structure_ok = ok and covered == n
+    static = _StaticTables(columns_for(program))
     program._sweep_static = static
     return static
 
@@ -235,6 +215,8 @@ class TraceDigest:
         self._b_taken_list = None
         self.cache_banks = {}  # hierarchy key -> _CacheBank
         self.pred_banks = {}   # predictor key -> _PredictorBank
+        self.steady_runs = {}  # shift -> visit-periodicity run | False
+        self.steady = {}       # (shift, hier, pred) -> Segment | False
         self._prefix = {}      # total -> (v_stop, covered)
         self._class_counts = {}
         self._persisted = False
@@ -527,7 +509,7 @@ def _npz_writer(arrays):
     # Uncompressed on purpose: bank/digest saves sit on the cold-sweep
     # critical path and zlib costs more than the disk it saves here.
     def write(path):
-        np.savez(path, **arrays)
+        write_npz(path, arrays, compress=False)
     return write
 
 
@@ -1350,33 +1332,114 @@ def _interpreted_range(low, high, digest, config, cache_bank, pred_bank,
 # ----------------------------------------------------------------------
 # Per-config execution and the public sweep entry point
 # ----------------------------------------------------------------------
+def _run_visits(digest, config, cache_bank, pred_bank, state, v_from,
+                v_to, kernel, params):
+    """Execute visits [v_from, v_to) via the kernel, interpreting any
+    cold (un-emitted) block visits it bounces off."""
+    if v_from >= v_to:
+        return
+    visits = digest.visits_list()
+    vfi = digest.vfi_list(cache_bank.shift)
+    visit_starts = digest.visit_starts
+    visit_ends = digest.visit_ends
+    v_done = v_from
+    while v_done < v_to:
+        v_next = kernel(visits, vfi, cache_bank.iacc_extra_list,
+                        cache_bank.dacc_lat_list, pred_bank.miss_list,
+                        digest.b_taken_list(), v_done, v_to, state, params)
+        if v_next >= v_to:
+            break
+        _interpreted_range(int(visit_starts[v_next]),
+                           int(visit_ends[v_next]), digest, config,
+                           cache_bank, pred_bank, state)
+        v_done = v_next + 1
+
+
+def _fast_forward(digest, config, cache_bank, pred_bank, hier_key,
+                  pred_key, v_stop, state, kernel, params):
+    """Execute-and-extrapolate the steady portion of [0, v_stop).
+
+    Returns the number of visits already accounted for (warmup and
+    verification executed normally, steady periods applied as exact
+    state deltas); the caller executes the rest.  Falls back to 0 (no
+    progress) whenever no verified segment or provable delta exists.
+    """
+    key = (cache_bank.shift, hier_key, pred_key)
+    segment = digest.steady.get(key)
+    if segment is None:
+        started = time.perf_counter()
+        segment = steady.find_segment(digest, cache_bank.shift,
+                                      cache_bank, pred_bank)
+        digest.steady[key] = segment if segment is not None else False
+        _note_seconds("steady_seconds", time.perf_counter() - started)
+        if segment is not None:
+            _note("steady_segments")
+    if not segment:
+        return 0
+    ff = steady.plan(segment, config, digest, v_stop)
+    if ff is None:
+        return 0
+    used_pools = steady.pools_used(segment, digest)
+    _run_visits(digest, config, cache_bank, pred_bank, state, 0,
+                ff.anchor, kernel, params)
+    s_a = steady.snapshot(state)
+    _run_visits(digest, config, cache_bank, pred_bank, state, ff.anchor,
+                ff.anchor + ff.ext_visits, kernel, params)
+    s_b = steady.snapshot(state)
+    _run_visits(digest, config, cache_bank, pred_bank, state,
+                ff.anchor + ff.ext_visits, ff.anchor + 2 * ff.ext_visits,
+                kernel, params)
+    s_c = steady.snapshot(state)
+    v_done = ff.anchor + 2 * ff.ext_visits
+    delta = steady.classify(s_a, s_b, s_c, config, used_pools)
+    tries = 0
+    # The pipeline may still be draining a transient at the anchor;
+    # slide the three-snapshot window forward a few periods.
+    while (delta is None and tries < steady.MAX_CLASSIFY_TRIES
+           and v_done + ff.ext_visits <= ff.limit):
+        s_a, s_b = s_b, s_c
+        _run_visits(digest, config, cache_bank, pred_bank, state, v_done,
+                    v_done + ff.ext_visits, kernel, params)
+        v_done += ff.ext_visits
+        s_c = steady.snapshot(state)
+        delta = steady.classify(s_a, s_b, s_c, config, used_pools)
+        tries += 1
+    if delta is None:
+        _note("steady_rejects")
+        return v_done
+    periods = (ff.limit - v_done) // ff.ext_visits
+    if periods > 0:
+        steady.apply_delta(state, delta, periods)
+        v_done += periods * ff.ext_visits
+        _note("steady_ff_configs")
+        _note("steady_ff_instructions", periods * ff.ext_instr)
+    return v_done
+
+
 def _run_config(digest, config, cache_bank, pred_bank, total,
-                class_counts, store=None):
+                class_counts, store=None, hier_key=None, pred_key=None):
     started = time.perf_counter()
     state = _initial_state(config)
     covered = 0
-    if total and digest.blocks_ok:
+    if total and native.available():
+        # The C loop covers the whole range — no kernels, no steady
+        # detection — and shares the banks' event arrays in place.
+        native.run_range(0, total, digest, config, cache_bank,
+                         pred_bank, state)
+        covered = total
+        _note("native_configs")
+    elif total and digest.blocks_ok:
         kernel, params = _kernel_for(digest, config, cache_bank.shift,
                                      store)
         v_stop, covered = digest.kernel_prefix(total)
         if v_stop:
-            visits = digest.visits_list()
-            vfi = digest.vfi_list(cache_bank.shift)
-            visit_starts = digest.visit_starts
-            visit_ends = digest.visit_ends
             v_done = 0
-            while v_done < v_stop:
-                v_next = kernel(visits, vfi, cache_bank.iacc_extra_list,
-                                cache_bank.dacc_lat_list,
-                                pred_bank.miss_list, digest.b_taken_list(),
-                                v_done, v_stop, state, params)
-                if v_next >= v_stop:
-                    break
-                # Cold (un-emitted) block: interpret this one visit.
-                _interpreted_range(int(visit_starts[v_next]),
-                                   int(visit_ends[v_next]), digest, config,
-                                   cache_bank, pred_bank, state)
-                v_done = v_next + 1
+            if total >= _STEADY_MIN_INSTRUCTIONS:
+                v_done = _fast_forward(digest, config, cache_bank,
+                                       pred_bank, hier_key, pred_key,
+                                       v_stop, state, kernel, params)
+            _run_visits(digest, config, cache_bank, pred_bank, state,
+                        v_done, v_stop, kernel, params)
     elif total:
         _note("fallback_configs")
     if covered < total:
@@ -1465,12 +1528,13 @@ def simulate_pipeline_sweep(trace, configs, max_instructions=None,
             # Per-config scheduling keeps run()'s span name, so grid
             # manifests still break out pipeline-timing wall time
             # (as ``uarch.sweep/uarch.pipeline``).
+            hier_key = _hierarchy_key(config)
+            pred_key = _predictor_key(config)
             with span("uarch.pipeline", config=config.name):
                 results.append(_run_config(
-                    digest, config,
-                    hierarchy_banks[_hierarchy_key(config)],
-                    predictor_banks[_predictor_key(config)],
-                    total, class_counts, store))
+                    digest, config, hierarchy_banks[hier_key],
+                    predictor_banks[pred_key], total, class_counts,
+                    store, hier_key, pred_key))
             emit_event("progress", done=index + 1, total=len(configs),
                        unit="configs", label=config.name)
     _note("grids")

@@ -1,0 +1,105 @@
+"""Steady-state fast-forward: engagement, accounting, and exactness.
+
+The Python engine's fast-forward detects a verified periodic segment of
+the visit/event streams and extrapolates the packed scheduling state
+algebraically instead of executing every period.  Its one permitted
+observable effect is wall time: any trace it engages on must produce
+results field-for-field identical to ``PipelineModel.run`` (the corpus
+differential suite enforces that globally; here we pin that the
+machinery actually *fires* on a periodic kernel, stays off below the
+engagement threshold, and accounts for itself in the sweep stats).
+
+These tests force ``REPRO_NATIVE=off``: with the native C loop active
+the whole range is timed directly and fast-forward never runs.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.sim import FunctionalSimulator
+from repro.uarch import BASE_CONFIG, native, simulate_pipeline, \
+    simulate_pipeline_sweep
+from repro.uarch.steady import _longest_run
+from repro.uarch.sweep import reset_sweep_stats, sweep_stats_snapshot
+from repro.workloads import build_workload
+
+
+@pytest.fixture(autouse=True)
+def python_engine(monkeypatch):
+    monkeypatch.setenv("REPRO_NATIVE", "off")
+    native.reset()
+    yield
+    native.reset()
+
+
+@pytest.fixture(scope="module")
+def fft_trace():
+    return FunctionalSimulator(build_workload("fft")).run(
+        max_instructions=5_000_000, trace=True)
+
+
+def result_fields(result):
+    fields = dataclasses.asdict(result)
+    fields.pop("wall_seconds")
+    return fields
+
+
+class TestLongestRun:
+    def test_empty(self):
+        assert _longest_run(np.zeros(0, dtype=bool)) == (0, 0)
+
+    def test_all_true(self):
+        low, high = _longest_run(np.ones(5, dtype=bool))
+        assert (low, high) == (0, 5)
+
+    def test_interior_run(self):
+        mask = np.array([1, 0, 1, 1, 1, 0, 1, 1, 0], dtype=bool)
+        assert _longest_run(mask) == (2, 5)
+
+    def test_run_at_tail(self):
+        mask = np.array([0, 1, 0, 1, 1, 1, 1], dtype=bool)
+        assert _longest_run(mask) == (3, 7)
+
+
+class TestFastForward:
+    def test_engages_on_periodic_kernel(self, fft_trace):
+        reset_sweep_stats()
+        swept = simulate_pipeline_sweep(fft_trace, [BASE_CONFIG],
+                                        max_instructions=60_000,
+                                        store=None)
+        stats = sweep_stats_snapshot()
+        assert stats["native_configs"] == 0  # engine forced to Python
+        assert stats["steady_segments"] >= 1
+        assert stats["steady_ff_configs"] >= 1
+        assert stats["steady_ff_instructions"] > 0
+        reference = simulate_pipeline(fft_trace, BASE_CONFIG,
+                                      max_instructions=60_000)
+        assert result_fields(swept[0]) == result_fields(reference)
+
+    def test_stays_off_below_threshold(self, fft_trace):
+        # 10k instructions is under _STEADY_MIN_INSTRUCTIONS: detection
+        # cost would not amortize, so the engine must not even try.
+        reset_sweep_stats()
+        swept = simulate_pipeline_sweep(fft_trace, [BASE_CONFIG],
+                                        max_instructions=10_000,
+                                        store=None)
+        stats = sweep_stats_snapshot()
+        assert stats["steady_ff_configs"] == 0
+        reference = simulate_pipeline(fft_trace, BASE_CONFIG,
+                                      max_instructions=10_000)
+        assert result_fields(swept[0]) == result_fields(reference)
+
+    def test_extrapolation_is_exact_across_grid(self, fft_trace):
+        from tests.test_uarch_sweep import GRID
+        reset_sweep_stats()
+        swept = simulate_pipeline_sweep(fft_trace, GRID,
+                                        max_instructions=60_000,
+                                        store=None)
+        assert sweep_stats_snapshot()["steady_ff_configs"] >= 1
+        for config, result in zip(GRID, swept):
+            reference = simulate_pipeline(fft_trace, config,
+                                          max_instructions=60_000)
+            assert result_fields(result) == result_fields(reference), \
+                config.name

@@ -42,6 +42,7 @@ from repro.uarch.branch_predictors import (
     simulate_predictor,
     simulate_predictor_reference,
 )
+from repro.uarch import native
 from repro.uarch.sweep import reset_sweep_stats, sweep_stats_snapshot
 from repro.workloads import build_workload, workload_names
 
@@ -56,6 +57,30 @@ GRID = ([BASE_CONFIG] + list(DESIGN_CHANGES)
 #: Enough instructions to exercise every structure (ROB/LSQ wrap,
 #: fetch-queue stalls, L2 traffic) while keeping the corpus run fast.
 CAP = 20_000
+
+
+@pytest.fixture(params=["native", "python"])
+def engine(request, monkeypatch):
+    """Run a test under both timing engines (native C and Python).
+
+    The native loop quietly stands down when no C compiler is present,
+    so the "native" parameter only asserts availability where the
+    environment actually provides one.
+    """
+    if request.param == "python":
+        monkeypatch.setenv("REPRO_NATIVE", "off")
+    native.reset()
+    yield request.param
+    native.reset()
+
+
+@pytest.fixture()
+def python_engine(monkeypatch):
+    """Force the compiled-Python kernels + interpreter (no C loop)."""
+    monkeypatch.setenv("REPRO_NATIVE", "off")
+    native.reset()
+    yield
+    native.reset()
 
 
 def result_fields(result):
@@ -96,17 +121,17 @@ def kernel_trace(name):
 # ----------------------------------------------------------------------
 class TestCorpusEquivalence:
     @pytest.mark.parametrize("name", KERNELS)
-    def test_kernel_bit_identical(self, name):
+    def test_kernel_bit_identical(self, name, engine):
         assert_sweep_equivalent(kernel_trace(name), GRID)
 
-    def test_clone_bit_identical(self, loop_nest_clone_trace):
+    def test_clone_bit_identical(self, loop_nest_clone_trace, engine):
         assert_sweep_equivalent(loop_nest_clone_trace, GRID)
 
-    def test_uncapped_trace(self, loop_nest_trace):
+    def test_uncapped_trace(self, loop_nest_trace, engine):
         assert_sweep_equivalent(loop_nest_trace, GRID,
                                 max_instructions=None)
 
-    def test_cap_lands_mid_block(self, loop_nest_trace):
+    def test_cap_lands_mid_block(self, loop_nest_trace, engine):
         # 12345 is deliberately not a multiple of any block length, so
         # the kernel must hand the final partial visit back to the
         # interpreted path.
@@ -167,7 +192,7 @@ class TestFallback:
     def test_structure_violation_detected(self, shifted_trace):
         assert not trace_digest(shifted_trace).blocks_ok
 
-    def test_fallback_is_still_exact(self, shifted_trace):
+    def test_fallback_is_still_exact(self, shifted_trace, python_engine):
         reset_sweep_stats()
         assert_sweep_equivalent(shifted_trace, GRID[:4])
         stats = sweep_stats_snapshot()
@@ -193,7 +218,7 @@ class TestPersistence:
             if hasattr(holder, attr):
                 delattr(holder, attr)
 
-    def test_round_trip(self, loop_nest_trace, tmp_path):
+    def test_round_trip(self, loop_nest_trace, tmp_path, python_engine):
         store = ArtifactStore(root=str(tmp_path), enabled=True)
         self._forget(loop_nest_trace)
         reset_sweep_stats()
@@ -219,7 +244,8 @@ class TestPersistence:
         assert [result_fields(result) for result in cold] \
             == [result_fields(result) for result in warm]
 
-    def test_corrupt_entries_are_rebuilt(self, loop_nest_trace, tmp_path):
+    def test_corrupt_entries_are_rebuilt(self, loop_nest_trace, tmp_path,
+                                         python_engine):
         store = ArtifactStore(root=str(tmp_path), enabled=True)
         self._forget(loop_nest_trace)
         cold = simulate_pipeline_sweep(loop_nest_trace, GRID[:4],
@@ -289,6 +315,66 @@ class TestSweepStats:
         manifest = RunManifest.collect("test")
         assert manifest.sweep is None
         assert validate_manifest(manifest.to_dict()) == []
+
+
+# ----------------------------------------------------------------------
+# Native timing loop
+# ----------------------------------------------------------------------
+class TestNative:
+    needs_native = pytest.mark.skipif(not native.available(),
+                                      reason="no C compiler on host")
+
+    def test_env_gate_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE", "off")
+        native.reset()
+        try:
+            assert not native.available()
+        finally:
+            native.reset()
+
+    @needs_native
+    def test_native_configs_counted(self, loop_nest_trace):
+        reset_sweep_stats()
+        simulate_pipeline_sweep(loop_nest_trace, GRID,
+                                max_instructions=CAP)
+        stats = sweep_stats_snapshot()
+        assert stats["native_configs"] == len(GRID)
+        assert stats["kernels_compiled"] == 0
+        assert stats["fallback_configs"] == 0
+
+    @needs_native
+    def test_state_handoff_matches_interpreter(self, loop_nest_trace):
+        # The C loop and the interpreter share the packed-state layout,
+        # so timing [0, k) natively and [k, total) interpreted must land
+        # in exactly the state the interpreter reaches alone.
+        from repro.uarch.sweep import (_build_cache_bank,
+                                       _build_pred_bank,
+                                       _initial_state,
+                                       _interpreted_range, trace_digest)
+        digest = trace_digest(loop_nest_trace)
+        config = BASE_CONFIG
+        cache_bank = _build_cache_bank(digest, config)
+        pred_bank = _build_pred_bank(digest, config)
+        total = min(CAP, digest.n)
+        split = total // 3 + 1
+
+        mixed = _initial_state(config)
+        native.run_range(0, split, digest, config, cache_bank,
+                         pred_bank, mixed)
+        _interpreted_range(split, total, digest, config, cache_bank,
+                           pred_bank, mixed)
+
+        pure = _initial_state(config)
+        _interpreted_range(0, total, digest, config, cache_bank,
+                           pred_bank, pure)
+        assert mixed[0] == pure[0]
+        assert mixed[1:5] == pure[1:5]
+        assert tuple(mixed[5]) == tuple(pure[5])
+
+    @needs_native
+    def test_library_cache_survives_reset(self):
+        native.reset()
+        assert native.available()
 
 
 # ----------------------------------------------------------------------
