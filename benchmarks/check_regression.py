@@ -47,6 +47,9 @@ SPECS = {
         ("grid_rows", {4: "cold"}),
         ("knob_rows", {4: "incremental"}),
     ],
+    "static_lint": [
+        ("rows", {4: "static"}),
+    ],
 }
 
 

@@ -11,6 +11,10 @@ Commands mirror the vendor/architect workflow:
 * ``estimate``  — statistical-simulation IPC estimate from a profile;
 * ``lint``      — static verification of a workload/assembly file (or,
   with ``--clone``, profile-conformance analysis of its clone);
+  ``--static-profile`` adds the abstract-interpretation layer (safety
+  proofs SR11x and, for clones, simulation-free profile prediction
+  scored as CF21x), ``--audit`` the disclosure audit (DL3xx), and
+  ``--severity CODE=LEVEL`` reclassifies individual diagnostics;
 * ``report``    — render the manifest/metrics of a prior run directory;
 * ``trace``     — timeline / flame / critical-path views of a run
   directory's event journal, with Chrome trace-event export;
@@ -44,7 +48,9 @@ the functional-simulator engine; the resolved backend is part of every
 artifact cache key and appears in manifests and ``repro report``.
 
 Exit codes: 0 success, 1 runtime failure, 2 bad target, 3 load failure,
-4 lint findings (error severity, or any finding under ``lint --strict``).
+4 lint findings (error severity, or any finding under ``lint --strict``),
+5 disclosure-audit findings (DL3xx errors take precedence over exit 4 so
+CI can tell a leak from a structural/conformance failure).
 """
 
 import argparse
@@ -68,7 +74,15 @@ from repro.exec import (
     shared_state_map,
 )
 from repro.isa import AssemblerError, assemble
-from repro.lint import LintGateError, lint_clone, lint_program
+from repro.lint import (
+    CODES,
+    LintGateError,
+    StaticPredictionError,
+    lint_clone,
+    lint_program,
+    predict_profile,
+    safety_certificate,
+)
 from repro.obs import (
     DEBUG,
     WARNING,
@@ -109,6 +123,14 @@ EXIT_ERROR = 1
 EXIT_BAD_TARGET = 2
 EXIT_LOAD_FAILED = 3
 EXIT_LINT_FAILED = 4
+EXIT_AUDIT_FAILED = 5
+
+#: Version of the ``repro lint --json`` payload (the ``"schema"`` key),
+#: mirroring the manifest/benchmark schema versioning so downstream
+#: tooling can detect format changes.  v1: reports + summary; v2 adds
+#: the static-analysis layers (SR11x/CF21x/DL3xx findings, optional
+#: ``static_profile`` and ``certificates`` blocks).
+LINT_SCHEMA_VERSION = 2
 
 
 class CliError(Exception):
@@ -135,6 +157,7 @@ class RunContext:
         self.lines = []
         self.config = None  # machine config hashed into the manifest
         self.lint = None  # lint verdict summary recorded in the manifest
+        self.certificate = None  # clone safety certificate (manifest)
 
     def emit(self, text):
         self.lines.append(text)
@@ -157,7 +180,7 @@ def _load_program(target):
                                 name=os.path.basename(target))
         except AssemblerError as exc:
             raise CliError(EXIT_LOAD_FAILED,
-                           f"failed to assemble {target}: {exc}")
+                           f"failed to assemble {target}: {exc}") from exc
     raise CliError(EXIT_BAD_TARGET,
                    f"{target!r} is neither a workload name nor "
                    "an assembly file (see `repro list`)")
@@ -170,7 +193,7 @@ def _load_profile(target):
             return WorkloadProfile.load(target)
         except (ValueError, KeyError, TypeError, OSError) as exc:
             raise CliError(EXIT_LOAD_FAILED,
-                           f"failed to load profile {target}: {exc}")
+                           f"failed to load profile {target}: {exc}") from exc
     program = _load_program(target)
     return profile_trace(run_program(program))
 
@@ -201,7 +224,7 @@ def _pipeline_for(args):
                                   max_instructions=_CLI_MAX_FUNCTIONAL)
     except AssemblerError as exc:
         raise CliError(EXIT_LOAD_FAILED,
-                       f"failed to assemble {args.target}: {exc}")
+                       f"failed to assemble {args.target}: {exc}") from exc
 
 
 def _note_cache(ctx):
@@ -289,7 +312,7 @@ def cmd_clone(args, ctx):
     with open(asm_path, "w") as handle:
         handle.write(result.asm_source)
     with open(c_path, "w") as handle:
-        handle.write(emit_c_source(result.program))
+        handle.write(emit_c_source(result.program, stats=result.stats))
     _LOG.info("cli.wrote", asm=asm_path, c=c_path)
     stats = result.stats
     ctx.payload.update(artifacts=[asm_path, c_path], stats=stats)
@@ -298,6 +321,7 @@ def cmd_clone(args, ctx):
         iterations=stats["iterations"],
         footprint_bytes=stats["footprint_bytes"])
     ctx.lint = stats.get("lint")
+    ctx.certificate = stats.get("certificate")
     lines = [
         f"wrote {asm_path} and {c_path}",
         f"  block instances: {stats['block_instances']}",
@@ -318,6 +342,7 @@ def cmd_clone(args, ctx):
 def cmd_compare(args, ctx):
     artifacts = _pipeline_for(args)
     ctx.lint = artifacts.clone.stats.get("lint")
+    ctx.certificate = artifacts.clone.stats.get("certificate")
     jobs = resolve_jobs(getattr(args, "jobs", None))
     state = (artifacts.trace, artifacts.clone_trace, BASE_CONFIG)
     results = dict(shared_state_map(_compare_sim_worker,
@@ -347,6 +372,7 @@ def cmd_compare(args, ctx):
 def cmd_sweep(args, ctx):
     artifacts = _pipeline_for(args)
     ctx.lint = artifacts.clone.stats.get("lint")
+    ctx.certificate = artifacts.clone.stats.get("certificate")
     real_trace = artifacts.trace
     clone_trace = artifacts.clone_trace
     real_addresses = real_trace.memory_addresses()
@@ -396,6 +422,28 @@ def cmd_estimate(args, ctx):
     return EXIT_OK
 
 
+def _parse_severity_overrides(pairs):
+    """``["CF202=error", ...]`` → ``{code: severity}`` (validated)."""
+    if not pairs:
+        return None
+    overrides = {}
+    for pair in pairs:
+        code, sep, level = pair.partition("=")
+        code = code.strip().upper()
+        level = level.strip().lower()
+        if not sep or code not in CODES:
+            raise CliError(EXIT_ERROR,
+                           f"--severity wants CODE=LEVEL with a known "
+                           f"code (got {pair!r}; see the SR/CF/DL "
+                           f"registry in repro.lint.diagnostics)")
+        if level not in ("error", "warning", "info"):
+            raise CliError(EXIT_ERROR,
+                           f"--severity level must be error, warning, "
+                           f"or info (got {level!r})")
+        overrides[code] = level
+    return overrides
+
+
 def cmd_lint(args, ctx):
     """Static verification: structural passes, plus conformance for clones."""
     if args.all:
@@ -405,21 +453,51 @@ def cmd_lint(args, ctx):
     else:
         raise CliError(EXIT_BAD_TARGET,
                        "give a target or --all (see `repro list`)")
+    overrides = _parse_severity_overrides(args.severity)
     reports = []
+    certificates = []
+    predictions = []
     for target in targets:
         if args.clone:
             profile = _load_profile(target)
             parameters = SynthesisParameters(
                 dynamic_instructions=args.instructions, seed=args.seed,
                 lint_gate="off")  # the point here is the report, not a raise
-            report = lint_clone(make_clone(profile, parameters))
+            clone = make_clone(profile, parameters)
+            report = lint_clone(clone, severity_overrides=overrides,
+                                static=args.static_profile,
+                                audit=args.audit)
+            program = clone.program
+            if args.static_profile:
+                try:
+                    prediction = predict_profile(program)
+                except StaticPredictionError as error:
+                    predictions.append({"program": program.name,
+                                        "declined": error.reason})
+                else:
+                    predicted = prediction.profile
+                    predictions.append({
+                        "program": program.name,
+                        "instructions": predicted.total_instructions,
+                        "memory_ops": predicted.total_memory_ops,
+                        "branches": predicted.total_branches,
+                        "footprint_bytes": predicted.data_footprint_bytes,
+                    })
         else:
-            report = lint_program(_load_program(target))
+            program = _load_program(target)
+            report = lint_program(program, overrides,
+                                  safety=args.static_profile,
+                                  audit=args.audit)
+        if args.static_profile:
+            certificates.append(safety_certificate(program))
         reports.append(report)
         ctx.emit(report.render_text())
 
     failed = [report for report in reports
               if not report.ok or (args.strict and report.warnings())]
+    audit_failed = any(
+        diagnostic.code.startswith("DL")
+        for report in failed for diagnostic in report.errors())
     codes = {}
     for report in reports:
         for code, count in report.codes().items():
@@ -432,8 +510,13 @@ def cmd_lint(args, ctx):
         "warnings": sum(len(report.warnings()) for report in reports),
         "codes": dict(sorted(codes.items())),
     }
-    ctx.payload.update(reports=[report.to_dict() for report in reports],
+    ctx.payload.update(schema=LINT_SCHEMA_VERSION,
+                       reports=[report.to_dict() for report in reports],
                        summary=summary)
+    if certificates:
+        ctx.payload["certificates"] = certificates
+    if predictions:
+        ctx.payload["static_profile"] = predictions
     ctx.headline.update(programs=summary["programs"],
                         lint_errors=summary["errors"],
                         lint_warnings=summary["warnings"])
@@ -442,7 +525,9 @@ def cmd_lint(args, ctx):
              f"{summary['programs']} program(s), "
              f"{summary['errors']} error(s), "
              f"{summary['warnings']} warning(s)")
-    return EXIT_LINT_FAILED if failed else EXIT_OK
+    if not failed:
+        return EXIT_OK
+    return EXIT_AUDIT_FAILED if audit_failed else EXIT_LINT_FAILED
 
 
 def _best_effort_manifest(target):
@@ -556,14 +641,26 @@ def cmd_report(args, ctx):
             rows = [[code, count]
                     for code, count in sorted(lint["codes"].items())]
             ctx.emit(format_table(["code", "count"], rows))
+    if data.get("certificate"):
+        cert = data["certificate"]
+        footprint = cert.get("footprint")
+        bounded = (f"footprint [{footprint['lo']:#x}, {footprint['hi']:#x}) "
+                   f"({footprint['bytes']} bytes)" if footprint
+                   else "footprint unbounded")
+        verdict = ("terminates" if cert.get("terminates")
+                   else "termination unproven")
+        ctx.emit(f"\nsafety certificate: {verdict}"
+                 + (f" within {cert['instruction_bound']} instructions"
+                    if cert.get("instruction_bound") else "")
+                 + f"; {bounded}; {len(cert.get('loops', []))} loop(s) "
+                   "analyzed")
     if data.get("metrics"):
         rows = []
         for name, entry in sorted(data["metrics"].items()):
-            if entry.get("type") == "histogram":
-                value = (f"n={entry['count']} mean={entry['mean']:.2f} "
-                         f"max={entry['max']}")
-            else:
-                value = entry.get("value")
+            value = (f"n={entry['count']} mean={entry['mean']:.2f} "
+                     f"max={entry['max']}"
+                     if entry.get("type") == "histogram"
+                     else entry.get("value"))
             rows.append([name, entry.get("type"), value])
         ctx.emit("\nmetrics:\n" + format_table(
             ["metric", "type", "value"], rows))
@@ -788,6 +885,17 @@ def build_parser():
                         "(adds profile-conformance passes)")
     p.add_argument("--strict", action="store_true",
                    help="warnings also fail (exit 4)")
+    p.add_argument("--static-profile", action="store_true",
+                   help="run the abstract-interpretation layer: safety "
+                        "proofs (SR11x) and, with --clone, "
+                        "simulation-free profile prediction (CF21x); "
+                        "adds safety certificates to --json output")
+    p.add_argument("--audit", action="store_true",
+                   help="run the disclosure audit (DL3xx); exit 5 on "
+                        "audit errors")
+    p.add_argument("--severity", action="append", metavar="CODE=LEVEL",
+                   help="override one diagnostic's severity (repeatable; "
+                        "e.g. --severity CF202=error)")
     p.add_argument("--instructions", type=int, default=120_000,
                    help="clone dynamic instruction target (with --clone)")
     p.add_argument("--seed", type=int, default=42)
@@ -927,7 +1035,7 @@ def main(argv=None):
             command=args.command, target=getattr(args, "target", None),
             seed=getattr(args, "seed", None), config=ctx.config,
             wall_seconds=wall, headline=ctx.headline, lint=ctx.lint,
-            profile=profile_summary)
+            profile=profile_summary, certificate=ctx.certificate)
         if args.run_dir:
             path = manifest.save(args.run_dir)
             _LOG.info("cli.manifest", path=path)

@@ -192,12 +192,11 @@ class StreamPlan:
                      for cluster in self.clusters]
         region_id = 0
         for (stride, once), (_, _, region_list) in by_key.items():
-            if (stride, once) in kept_keys:
-                cluster_index = kept_keys.index((stride, once))
-            else:
-                cluster_index = min(
-                    range(len(kept_keys)),
-                    key=lambda i: abs(kept_keys[i][0] - stride))
+            cluster_index = (
+                kept_keys.index((stride, once))
+                if (stride, once) in kept_keys
+                else min(range(len(kept_keys)),
+                         key=lambda i, s=stride: abs(kept_keys[i][0] - s)))
             cluster = self.clusters[cluster_index]
             for members, _ in region_list:
                 slot = StreamSlot(key=region_id)
@@ -286,11 +285,9 @@ class StreamPlan:
                 continue
             for slot in cluster.slots.values():
                 once_cost += slot.footprint + slot.extent + 16
-        if scaled_cost > 0:
-            alpha = max(0.02, min(
-                512.0, (target - fixed_cost - once_cost) / scaled_cost))
-        else:
-            alpha = 1.0
+        alpha = (max(0.02, min(
+            512.0, (target - fixed_cost - once_cost) / scaled_cost))
+            if scaled_cost > 0 else 1.0)
 
         for cluster in self.clusters:
             stride = cluster.stride

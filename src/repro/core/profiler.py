@@ -291,11 +291,9 @@ class WorkloadProfiler:
             group = sorted_outcomes[start:end]
             count = end - start
             taken_rate = float(np.count_nonzero(group) / count)
-            if count > 1:
-                transition_rate = float(
-                    np.count_nonzero(np.diff(group)) / (count - 1))
-            else:
-                transition_rate = 0.0
+            transition_rate = (
+                float(np.count_nonzero(np.diff(group)) / (count - 1))
+                if count > 1 else 0.0)
             profile.branches[pc] = BranchStats(
                 pc=pc, count=int(count), taken_rate=taken_rate,
                 transition_rate=transition_rate)

@@ -17,6 +17,7 @@ the terminating branch's transition/taken rates.
 """
 
 import random
+import re
 from dataclasses import dataclass, field
 
 from repro.core.branch_model import RNG_SEED, emit_branch, pattern_for
@@ -48,6 +49,10 @@ class SynthesisParameters:
     ``"error"`` (default) raises :class:`repro.lint.LintGateError` on
     error-severity findings, ``"warn"`` only records the verdict in
     ``CloneResult.stats["lint"]``, and ``"off"`` skips the gate.
+    ``severity_overrides`` (``{code: severity}``) is threaded through
+    every lint pass the gate runs — structural, conformance, safety,
+    static-profile, and disclosure alike (see
+    :mod:`repro.lint.diagnostics` for the precedence rules).
     """
 
     dynamic_instructions: int = 100_000
@@ -59,6 +64,7 @@ class SynthesisParameters:
     max_block_instances: int = 640
     min_memory_instances: int = 120
     lint_gate: str = "error"  # "error" | "warn" | "off"
+    severity_overrides: dict = None  # {diagnostic code: severity}
 
 
 @dataclass
@@ -103,6 +109,28 @@ def _interleave(counts):
         if remaining[label] == 0:
             credits[label] = float("-inf")
     return sequence
+
+
+#: Integer operand tokens in emitted assembly text: standalone signed
+#: decimals, not digits embedded in register names/labels/floats.
+_INT_OPERAND = re.compile(r"(?<![\w.])-?\d+(?![\w.])")
+
+
+def _emitted_ints(lines):
+    """Every integer literal appearing in generated assembly lines.
+
+    Used to record provenance for constants emitted by helper code
+    (branch-pattern realizations) without threading an annotation
+    through every emitter.
+    """
+    values = []
+    for line in lines:
+        text = line.split("#", 1)[0].strip()
+        if not text or text.endswith(":") or text.startswith("."):
+            continue
+        _, _, operands = text.partition(" ")
+        values.extend(int(token) for token in _INT_OPERAND.findall(operands))
+    return values
 
 
 def _sample_bucket(hist, rng):
@@ -161,6 +189,7 @@ class CloneSynthesizer:
         rng = random.Random(params.seed)
         regs = CloneRegisterFile()
         self._random_cursor = 0
+        self._provenance = {}
 
         target = params.target_block_instances
         if target <= 0:
@@ -230,13 +259,34 @@ class CloneSynthesizer:
             "footprint_bytes": plan.total_footprint(),
             "footprint_target": profile.data_footprint_bytes,
             "reset_scale_alpha": alpha,
+            # Literal provenance ({origin: sorted values}): every
+            # constant the emitters wrote, annotated at generation time
+            # so the disclosure audit (repro.lint.disclosure) can prove
+            # none derives from a raw address/value of the original.
+            "provenance": {origin: sorted(values) for origin, values
+                           in sorted(self._provenance.items())},
         }
         return CloneResult(program=program, asm_source=asm_source,
                            profile=profile, parameters=params, stats=stats)
 
     # ------------------------------------------------------------------
+    def _note(self, value, origin):
+        """Record one emitted literal's provenance (disclosure audit)."""
+        self._provenance.setdefault(origin, set()).add(value)
+
+    def _note_lines(self, lines, origin):
+        for value in _emitted_ints(lines):
+            self._note(value, origin)
+
+    # ------------------------------------------------------------------
     def _lint_gate(self, result):
         """Statically verify the freshly synthesized clone (the gate).
+
+        Runs every static layer — structural (``SR1xx``), contract
+        conformance (``CF20x``), safety proofs (``SR11x``), static
+        profile prediction (``CF21x``), and the disclosure audit
+        (``DL3xx``) — and attaches the machine-readable safety
+        certificate to ``stats["certificate"]``.  No simulation runs.
 
         Imported lazily: ``repro.lint`` depends on :mod:`repro.core`
         modules, so a module-level import here would be circular.
@@ -244,9 +294,15 @@ class CloneSynthesizer:
         mode = self.parameters.lint_gate
         if mode == "off":
             return
-        from repro.lint import LintGateError, lint_clone
+        from repro.lint import LintGateError, lint_clone, safety_certificate
+        overrides = self.parameters.severity_overrides
         with span("lint_gate"):
-            report = lint_clone(result, conformance=self.lint_conformance)
+            report = lint_clone(result, severity_overrides=overrides,
+                                conformance=self.lint_conformance,
+                                static=self.lint_conformance)
+            # The absint fixpoint is already cached on the program's
+            # columns, so certifying here costs nothing extra.
+            result.stats["certificate"] = safety_certificate(result.program)
         result.stats["lint"] = report.summary()
         emit_event("lint", gate=mode, **report.summary())
         REGISTRY.counter("lint.gate_runs").inc()
@@ -383,23 +439,27 @@ class CloneSynthesizer:
                 sources.append(regs.fp_file.source_for(position, distance))
             return sources
 
-        for bid, hist, entries, pattern in abstract_blocks:
+        for _bid, hist, entries, pattern in abstract_blocks:
             lines.append(f"bb{label_counter}:")
             for label, handle, extra in entries:
                 if label == "load":
                     cluster_index, offset = plan.locate(handle)
                     dest = regs.int_file.allocate_dest(position)
+                    self._note(offset, "slot-offset")
                     lines.append(f"    lw {reg_name(dest)}, {offset}"
                                  f"({regs.pointer_name(cluster_index)})")
                 elif label == "store":
                     cluster_index, offset = plan.locate(handle)
                     distance = bucket_representative(extra[0])
                     source = regs.int_file.source_for(position, distance)
+                    self._note(offset, "slot-offset")
                     lines.append(f"    sw {reg_name(source)}, {offset}"
                                  f"({regs.pointer_name(cluster_index)})")
                 elif label == "ialu":
                     mnemonic, n_srcs, suffix = _INT_OPS[
                         cycles["ialu"] % len(_INT_OPS)]
+                    if suffix:
+                        self._note(int(suffix.lstrip(", ")), "mix-rotation")
                     cycles["ialu"] += 1
                     sources = int_sources(n_srcs, hist)
                     dest = regs.int_file.allocate_dest(position)
@@ -439,10 +499,10 @@ class CloneSynthesizer:
                 position += 1
             if pattern is not None:
                 next_label = f"bb{label_counter}_n"
-                if hasattr(pattern, "emit"):
-                    branch_lines = pattern.emit(next_label)
-                else:
-                    branch_lines = emit_branch(pattern, next_label)
+                branch_lines = (pattern.emit(next_label)
+                                if hasattr(pattern, "emit")
+                                else emit_branch(pattern, next_label))
+                self._note_lines(branch_lines, "branch-pattern")
                 lines.extend(branch_lines)
                 position += len(branch_lines)
                 lines.append(f"{next_label}:")
@@ -458,6 +518,8 @@ class CloneSynthesizer:
             pointer = regs.pointer_name(cluster.index)
             countdown = regs.countdown_name(cluster.index)
             skip = f"adv{cluster.index}"
+            self._note(cluster.advance, "stream-advance")
+            self._note(-1, "loop-counter")
             lines.append(f"    addi {pointer}, {pointer}, {cluster.advance}")
             lines.append(f"    addi {countdown}, {countdown}, -1")
             lines.append(f"    bne {countdown}, r0, {skip}")
@@ -465,6 +527,9 @@ class CloneSynthesizer:
             lines.append(f"{skip}:")
             common_path += 3
         # Step the shared xorshift32 register feeding "random" branches.
+        for shift in (13, 17, 5):
+            self._note(shift, "rng-step")
+        self._note(1, "loop-counter")
         lines.append("    slli r3, r31, 13")
         lines.append("    xor r31, r31, r3")
         lines.append("    srli r3, r31, 17")
@@ -479,13 +544,18 @@ class CloneSynthesizer:
     def _pointer_reset(self, cluster, pointer, countdown):
         lines = [f"    la {pointer}, {cluster.symbol}"]
         if cluster.initial_offset:
+            self._note(cluster.initial_offset, "stream-phase")
             lines.append(f"    addi {pointer}, {pointer}, "
                          f"{cluster.initial_offset}")
+        self._note(cluster.reset_period, "reset-period")
         lines.append(f"    li {countdown}, {cluster.reset_period}")
         return lines
 
     # ------------------------------------------------------------------
     def _emit_init(self, plan, regs, iterations):
+        self._note(0, "loop-counter")
+        self._note(iterations, "run-length")
+        self._note(RNG_SEED, "rng-seed")
         lines = ["main:", "    li r1, 0", f"    li r2, {iterations}",
                  f"    li r31, {RNG_SEED}"]
         for cluster in plan.active_clusters():
@@ -493,10 +563,13 @@ class CloneSynthesizer:
             countdown = regs.countdown_name(cluster.index)
             lines.append(f"    la {pointer}, {cluster.symbol}")
             if cluster.initial_offset:
+                self._note(cluster.initial_offset, "stream-phase")
                 lines.append(f"    addi {pointer}, {pointer}, "
                              f"{cluster.initial_offset}")
+            self._note(cluster.reset_period, "reset-period")
             lines.append(f"    li {countdown}, {cluster.reset_period}")
         for index, value in enumerate((1.0001, 0.9998, 1.5, 0.75)):
+            self._note(value, "fp-seed")
             lines.append(f"    fli f{index}, {value}")
         return lines
 

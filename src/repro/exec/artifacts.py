@@ -119,6 +119,9 @@ def pipeline_artifacts(name, source, parameters,
         "name": name,
         "clone_name": artifacts.clone.program.name,
         "clone_stats": artifacts.clone.stats,
+        # Surfaced redundantly with clone_stats["certificate"] so store
+        # tooling can read the safety proof without parsing stats.
+        "certificate": artifacts.clone.stats.get("certificate"),
         "parameters": repr(parameters),
         "max_instructions": max_instructions,
         "sim_backend": sim_backend,

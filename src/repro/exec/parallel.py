@@ -109,14 +109,14 @@ def parallel_map(func, items, jobs=None):
     REGISTRY.counter("exec.parallel.tasks").inc(len(items))
     _LOG.debug("parallel.map", tasks=len(items), jobs=workers)
     emit_event("tasks", total=len(items), jobs=workers)
-    with _propagated_trace():
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            if active_journal() is None:
-                return list(pool.map(func, items))
-            return list(pool.map(
-                _call_traced,
-                [(func, index, item)
-                 for index, item in enumerate(items)]))
+    with _propagated_trace(), \
+            ProcessPoolExecutor(max_workers=workers) as pool:
+        if active_journal() is None:
+            return list(pool.map(func, items))
+        return list(pool.map(
+            _call_traced,
+            [(func, index, item)
+             for index, item in enumerate(items)]))
 
 
 # ----------------------------------------------------------------------
@@ -160,11 +160,11 @@ def shared_state_map(func, items, state, jobs=None):
     REGISTRY.counter("exec.parallel.tasks").inc(len(items))
     _LOG.debug("parallel.shared_map", tasks=len(items), jobs=workers)
     emit_event("tasks", total=len(items), jobs=workers)
-    with _propagated_trace():
-        with ProcessPoolExecutor(max_workers=workers,
-                                 initializer=_init_shared,
-                                 initargs=(state,)) as pool:
-            return list(pool.map(
-                _call_with_shared,
-                [(func, index, item)
-                 for index, item in enumerate(items)]))
+    with _propagated_trace(), \
+            ProcessPoolExecutor(max_workers=workers,
+                                initializer=_init_shared,
+                                initargs=(state,)) as pool:
+        return list(pool.map(
+            _call_with_shared,
+            [(func, index, item)
+             for index, item in enumerate(items)]))

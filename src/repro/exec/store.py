@@ -31,6 +31,7 @@ entirely; ``REPRO_CACHE_MAX_BYTES`` bounds the store, evicting
 least-recently-used entries after each write.
 """
 
+import contextlib
 import hashlib
 import json
 import os
@@ -162,10 +163,8 @@ class ArtifactStore:
             shutil.rmtree(entry, ignore_errors=True)
             self._record("miss", key=key)
             return None
-        try:  # LRU freshness for eviction ordering
+        with contextlib.suppress(OSError):  # LRU freshness for eviction
             os.utime(entry)
-        except OSError:
-            pass
         self._record("hit", key=key)
         return meta, entry
 
@@ -219,10 +218,8 @@ class ArtifactStore:
                 continue
             size = 0
             for filename in os.listdir(entry):
-                try:
+                with contextlib.suppress(OSError):
                     size += os.path.getsize(os.path.join(entry, filename))
-                except OSError:
-                    pass
             try:
                 mtime = os.path.getmtime(entry)
             except OSError:

@@ -59,6 +59,7 @@ class ProgramColumns:
         "n", "iclass", "dest", "src1", "src2", "pc_addresses",
         "is_load", "is_store", "is_mem", "is_cond", "is_jump",
         "iclass_list", "dest_list", "srcs_list", "pool_list",
+        "opcode_list", "imm_list", "target_list",
         "block_of", "is_block_start", "block_bounds", "block_size",
         "structure_ok", "derived", "_fingerprint",
     )
@@ -73,6 +74,9 @@ class ProgramColumns:
         src2 = self.src2 = np.full(n, -1, dtype=np.int16)
         is_cond = self.is_cond = np.zeros(n, dtype=bool)
         srcs_list = self.srcs_list = []
+        opcode_list = self.opcode_list = []
+        imm_list = self.imm_list = []
+        target_list = self.target_list = []
         # The single per-instruction object walk in the process.
         for index, instr in enumerate(instructions):
             iclass[index] = instr.iclass
@@ -80,6 +84,9 @@ class ProgramColumns:
                 dest[index] = instr.rd
             srcs = instr.srcs
             srcs_list.append(srcs)
+            opcode_list.append(instr.opcode)
+            imm_list.append(instr.imm)
+            target_list.append(instr.target)
             if len(srcs) >= 1:
                 src1[index] = srcs[0]
                 if len(srcs) >= 2:

@@ -129,7 +129,7 @@ def disassemble(program):
     """Render a program back to assembly text (labels re-derived)."""
     index_to_label = {index: label for label, index in program.labels.items()}
     # Ensure every branch target has a printable label.
-    for i, instr in enumerate(program.instructions):
+    for instr in program.instructions:
         if instr.target is not None and instr.target not in index_to_label:
             index_to_label[instr.target] = f"L{instr.target}"
     lines = [".text"]

@@ -1,15 +1,23 @@
 """repro.lint — static verification for SRISC programs and clones.
 
-Two layers over one diagnostics vocabulary (:mod:`repro.lint.diagnostics`):
+Three layers over one diagnostics vocabulary
+(:mod:`repro.lint.diagnostics`):
 
 * **Structural** (:mod:`repro.lint.cfg`, :mod:`repro.lint.dataflow`):
   CFG well-formedness, reachability, register dataflow, and static
   memory bounds for *any* assembled :class:`repro.isa.Program` —
-  hand-written kernel or synthesized clone alike (``SR1xx`` codes).
+  hand-written kernel or synthesized clone alike (``SR10x`` codes).
+* **Static analysis** (:mod:`repro.lint.absint`,
+  :mod:`repro.lint.staticprof`, :mod:`repro.lint.disclosure`): an
+  abstract interpreter proves safety (trip bounds, termination, a
+  footprint interval — ``SR11x``), predicts the clone's dynamic profile
+  without simulation and scores it against the target (``CF21x``), and
+  the disclosure audit proves no emitted constant derives from raw
+  values of the profiled application (``DL3xx``).
 * **Conformance** (:mod:`repro.lint.conformance`): given a
   :class:`repro.core.synthesizer.CloneResult`, statically re-derive the
   paper's synthesis contract — mix, dependency distances, branch
-  machinery, streams, footprint — against the source profile (``CF2xx``
+  machinery, streams, footprint — against the source profile (``CF20x``
   codes).
 
 Entry points: :func:`lint_program` for any program,
@@ -17,6 +25,8 @@ Entry points: :func:`lint_program` for any program,
 which the post-synthesis gate raises on error-severity findings.
 """
 
+from repro.lint.absint import (CERTIFICATE_SCHEMA_VERSION, analyze_program,
+                               check_safety, safety_certificate)
 from repro.lint.cfg import (ControlFlowGraph, check_branch_targets,
                             check_fallthrough_end, check_reachability)
 from repro.lint.conformance import (CloneShape, ConformanceTolerances,
@@ -27,17 +37,24 @@ from repro.lint.dataflow import (check_memory_bounds, check_register_writes,
 from repro.lint.diagnostics import (CODES, ERROR, INFO, WARNING, Diagnostic,
                                     LintReport, make_diagnostic,
                                     merge_reports)
+from repro.lint.disclosure import (audit_disclosure, audit_program,
+                                   profile_secrets)
+from repro.lint.staticprof import (StaticPrediction, StaticPredictionError,
+                                   check_static_conformance, predict_profile)
 from repro.obs.metrics import REGISTRY
 from repro.obs.timing import span
 
 __all__ = [
-    "CODES", "ERROR", "INFO", "WARNING",
+    "CERTIFICATE_SCHEMA_VERSION", "CODES", "ERROR", "INFO", "WARNING",
     "CloneShape", "ConformanceTolerances", "ControlFlowGraph",
-    "Diagnostic", "LintGateError", "LintReport",
-    "check_branch_targets", "check_conformance", "check_fallthrough_end",
-    "check_memory_bounds", "check_reachability", "check_register_writes",
+    "Diagnostic", "LintGateError", "LintReport", "StaticPrediction",
+    "StaticPredictionError", "analyze_program", "audit_disclosure",
+    "audit_program", "check_branch_targets", "check_conformance",
+    "check_fallthrough_end", "check_memory_bounds", "check_reachability",
+    "check_register_writes", "check_safety", "check_static_conformance",
     "check_use_before_def", "discover_shape", "lint_clone", "lint_program",
-    "make_diagnostic", "merge_reports", "recover_pattern",
+    "make_diagnostic", "merge_reports", "predict_profile",
+    "profile_secrets", "recover_pattern", "safety_certificate",
 ]
 
 
@@ -53,8 +70,15 @@ class LintGateError(Exception):
         super().__init__(report.render_text())
 
 
-def lint_program(program, severity_overrides=None):
-    """Run every structural pass over one program; returns a report."""
+def lint_program(program, severity_overrides=None, safety=False,
+                 audit=False, profile=None):
+    """Run every structural pass over one program; returns a report.
+
+    ``safety=True`` additionally runs the abstract-interpretation
+    safety proofs (``SR11x``); ``audit=True`` runs the disclosure audit
+    in its degraded (no-provenance) mode, screening against ``profile``
+    when one is supplied.
+    """
     with span("lint.program"):
         cfg = ControlFlowGraph(program)
         report = merge_reports(
@@ -66,6 +90,15 @@ def lint_program(program, severity_overrides=None):
             check_register_writes(program, severity_overrides),
             check_memory_bounds(cfg, severity_overrides),
         )
+        if safety:
+            report = merge_reports(
+                program.name, report,
+                check_safety(program, severity_overrides))
+        if audit:
+            report = merge_reports(
+                program.name, report,
+                audit_program(program, profile=profile,
+                              severity_overrides=severity_overrides))
     REGISTRY.counter("lint.programs").inc()
     REGISTRY.counter("lint.diagnostics").inc(len(report))
     if not report.ok:
@@ -74,13 +107,34 @@ def lint_program(program, severity_overrides=None):
 
 
 def lint_clone(clone, tolerances=None, severity_overrides=None,
-               conformance=True):
-    """Structural plus (optionally) conformance passes for one clone."""
+               conformance=True, static=True, audit=True):
+    """Structural, static, and conformance passes for one clone.
+
+    ``static`` adds the abstract-interpretation layer: safety proofs
+    (``SR11x``) plus the static profile prediction scored against the
+    target profile (``CF21x``).  ``audit`` adds the disclosure audit
+    (``DL3xx``), using the provenance annotations the synthesizer
+    recorded in ``clone.stats``.  Everything here is analysis — no pass
+    simulates the clone.
+    """
     with span("lint.clone"):
         report = lint_program(clone.program, severity_overrides)
+        if static:
+            report = merge_reports(
+                clone.program.name, report,
+                check_safety(clone.program, severity_overrides))
         if conformance:
             report = merge_reports(
                 clone.program.name, report,
                 check_conformance(clone, tolerances, severity_overrides))
+            if static:
+                static_report, _ = check_static_conformance(
+                    clone, tolerances, severity_overrides)
+                report = merge_reports(clone.program.name, report,
+                                       static_report)
+        if audit:
+            report = merge_reports(
+                clone.program.name, report,
+                audit_disclosure(clone, severity_overrides))
     REGISTRY.counter("lint.clones").inc()
     return report

@@ -59,12 +59,23 @@ class ControlFlowGraph:
 
         self.entry = (program.block_of(program.entry)
                       if 0 <= program.entry < n_instrs else None)
+        # Derived traversals are pure functions of the edge set; they are
+        # memoized because the abstract interpreter and the static
+        # profile predictor query them repeatedly on the same graph.
+        self._reachable = None
+        self._rpo = None
+        self._rpo_position = None
+        self._idoms = None
+        self._retreating = None
 
     # ------------------------------------------------------------------
     def reachable(self):
         """Block ids reachable from the entry block (the entry included)."""
+        if self._reachable is not None:
+            return self._reachable
         if self.entry is None:
-            return set()
+            self._reachable = set()
+            return self._reachable
         seen = {self.entry}
         stack = [self.entry]
         while stack:
@@ -73,7 +84,184 @@ class ControlFlowGraph:
                 if succ not in seen:
                     seen.add(succ)
                     stack.append(succ)
+        self._reachable = seen
         return seen
+
+    # ------------------------------------------------------------------
+    def rpo(self):
+        """Reachable block ids in reverse post-order from the entry."""
+        if self._rpo is not None:
+            return self._rpo
+        if self.entry is None:
+            self._rpo = []
+            return self._rpo
+        order = []
+        seen = set()
+        # Iterative post-order DFS (the corpus has deep linear chains).
+        stack = [(self.entry, iter(self.successors[self.entry]))]
+        seen.add(self.entry)
+        while stack:
+            bid, succs = stack[-1]
+            advanced = False
+            for succ in succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, iter(self.successors[succ])))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(bid)
+                stack.pop()
+        order.reverse()
+        self._rpo = order
+        return order
+
+    def rpo_position(self):
+        """``{bid: index in rpo()}`` for reachable blocks (memoized)."""
+        if self._rpo_position is None:
+            self._rpo_position = {bid: i for i, bid in enumerate(self.rpo())}
+        return self._rpo_position
+
+    def idoms(self):
+        """``{bid: immediate dominator}`` (entry maps to itself).
+
+        Cooper–Harvey–Kennedy iteration over reverse post-order: a few
+        sweeps of pairwise chain intersections instead of the quadratic
+        set dataflow, so dominance queries stay cheap even on the
+        block-heavy synthesized clones.
+        """
+        if self._idoms is not None:
+            return self._idoms
+        order = self.rpo()
+        if not order:
+            self._idoms = {}
+            return self._idoms
+        position = self.rpo_position()
+        idom = {self.entry: self.entry}
+
+        def intersect(a, b):
+            while a != b:
+                while position[a] > position[b]:
+                    a = idom[a]
+                while position[b] > position[a]:
+                    b = idom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for bid in order[1:]:
+                new = None
+                for pred in self.predecessors[bid]:
+                    if pred in idom:
+                        new = pred if new is None else intersect(new, pred)
+                if new is not None and idom.get(bid) != new:
+                    idom[bid] = new
+                    changed = True
+        self._idoms = idom
+        return idom
+
+    def dominates(self, a, b):
+        """True when block ``a`` dominates block ``b``."""
+        idom = self.idoms()
+        if b not in idom:
+            return False
+        position = self.rpo_position()
+        target = position.get(a)
+        if target is None:
+            return False
+        current = b
+        while position[current] >= target:
+            if current == a:
+                return True
+            if current == self.entry:
+                break
+            current = idom[current]
+        return False
+
+    def dominators(self):
+        """``{bid: set of dominator bids}`` over reachable blocks.
+
+        Materialized lazily from the immediate-dominator tree: each
+        block's dominator set is its idom chain up to the entry.
+        """
+        idom = self.idoms()
+        dom = {}
+        for bid in self.rpo():
+            chain = {bid}
+            current = bid
+            while current != self.entry:
+                current = idom[current]
+                chain.add(current)
+            dom[bid] = chain
+        return dom
+
+    def natural_loops(self):
+        """``[(header, back_source, frozenset(body))]`` natural loops.
+
+        A back edge is an edge ``t -> h`` where ``h`` dominates ``t``;
+        its natural loop is ``h`` plus every block that reaches ``t``
+        without passing through ``h``.  Loops sharing a header are
+        merged into one entry (their bodies unioned), matching the
+        usual loop-forest construction.
+        """
+        bodies = {}
+        sources = {}
+        reachable = self.reachable()
+        # Back edges are retreating in every DFS, so only the retreating
+        # edges need the (chain-walk) dominance test.
+        for bid, succ in self.retreating_edges():
+            if self.dominates(succ, bid):
+                body = {succ, bid}
+                stack = [bid]
+                while stack:
+                    node = stack.pop()
+                    if node == succ:
+                        continue
+                    for pred in self.predecessors[node]:
+                        if pred not in body and pred in reachable:
+                            body.add(pred)
+                            stack.append(pred)
+                bodies.setdefault(succ, set()).update(body)
+                sources.setdefault(succ, set()).add(bid)
+        return [(header, tuple(sorted(sources[header])),
+                 frozenset(bodies[header]))
+                for header in sorted(bodies)]
+
+    def retreating_edges(self):
+        """Edges ``(src, dst)`` that close a cycle in a DFS from entry.
+
+        Used as the soundness backstop for termination proofs: in a
+        reducible CFG every retreating edge is a back edge of some
+        natural loop; an edge that is retreating but *not* a back edge
+        marks an irreducible cycle the loop analysis cannot bound.
+        """
+        if self._retreating is not None:
+            return self._retreating
+        if self.entry is None:
+            self._retreating = []
+            return self._retreating
+        color = {}
+        edges = []
+        stack = [(self.entry, iter(self.successors[self.entry]))]
+        color[self.entry] = 1  # 1 = on stack, 2 = done
+        while stack:
+            bid, succs = stack[-1]
+            advanced = False
+            for succ in succs:
+                state = color.get(succ)
+                if state == 1:
+                    edges.append((bid, succ))
+                elif state is None:
+                    color[succ] = 1
+                    stack.append((succ, iter(self.successors[succ])))
+                    advanced = True
+                    break
+            if not advanced:
+                color[bid] = 2
+                stack.pop()
+        self._retreating = edges
+        return edges
 
 
 # ----------------------------------------------------------------------

@@ -346,11 +346,9 @@ def expected_patterns(profile, sequence):
             pattern = None
         else:
             branch = profile.branches.get(stats.branch_pc)
-            if branch is None:
-                pattern = pattern_for(1.0, 0.0)
-            else:
-                pattern = pattern_for(branch.taken_rate,
-                                      branch.transition_rate)
+            pattern = (pattern_for(1.0, 0.0) if branch is None
+                       else pattern_for(branch.taken_rate,
+                                        branch.transition_rate))
         cache[bid] = pattern
         patterns.append(pattern)
     return patterns

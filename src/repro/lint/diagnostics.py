@@ -1,12 +1,12 @@
 """Shared diagnostics engine for the static-analysis subsystem.
 
-Every lint pass — structural (``SR1xx``) and profile-conformance
-(``CF2xx``) — reports through one vocabulary: a stable *code* drawn from
-the :data:`CODES` registry, a *severity*, a human message, and an
-optional source location (instruction index, basic block, virtual pc).
-Stability matters: codes appear in run manifests, benchmark provenance,
-and CI logs, so downstream tooling can count and compare them across
-revisions.
+Every lint pass — structural (``SR1xx``), profile-conformance
+(``CF2xx``), and disclosure (``DL3xx``) — reports through one
+vocabulary: a stable *code* drawn from the :data:`CODES` registry, a
+*severity*, a human message, and an optional source location
+(instruction index, basic block, virtual pc).  Stability matters: codes
+appear in run manifests, benchmark provenance, and CI logs, so
+downstream tooling can count and compare them across revisions.
 
 Severities:
 
@@ -15,6 +15,18 @@ Severities:
 * ``warning`` — suspicious but well-defined behaviour (the SRISC machine
   zero-initializes registers, so e.g. use-before-def executes fine).
 * ``info``    — observations that carry no judgement.
+
+Severity precedence (most to least specific, applied uniformly across
+every pass and every code family):
+
+1. an explicit ``severity=`` argument to :func:`make_diagnostic` (used
+   when one code covers situations of genuinely different weight);
+2. a per-run ``severity_overrides`` mapping (``{code: severity}``),
+   threaded from the CLI's repeatable ``--severity CODE=LEVEL`` flag
+   and from ``SynthesisParameters.severity_overrides`` through every
+   structural, conformance, safety, static-profile, and disclosure
+   check;
+3. the registry default recorded in :data:`CODES`.
 """
 
 from dataclasses import dataclass, field
@@ -66,6 +78,50 @@ CODES = {spec.code: spec for spec in (
              "stream pointer advance does not match the memory plan"),
     CodeSpec("CF205", "footprint-divergence", ERROR,
              "clone data footprint diverges from the profiled footprint"),
+    # --- Safety proofs (abstract interpretation, repro.lint.absint) ---
+    CodeSpec("SR110", "loop-bound", INFO,
+             "loop trip count is statically bounded"),
+    CodeSpec("SR111", "loop-unbounded", WARNING,
+             "loop trip count cannot be statically bounded"),
+    CodeSpec("SR112", "termination", INFO,
+             "program provably terminates within a bounded instruction "
+             "count"),
+    CodeSpec("SR113", "footprint-interval", INFO,
+             "every dynamic memory access stays within a proven address "
+             "interval"),
+    CodeSpec("SR114", "footprint-unbounded", WARNING,
+             "some memory access address cannot be statically bounded"),
+    # --- Static profile prediction (repro.lint.staticprof) ---
+    CodeSpec("CF210", "static-shape", ERROR,
+             "static analysis cannot recover a bounded single-loop "
+             "execution structure for the clone"),
+    CodeSpec("CF211", "static-mix", ERROR,
+             "statically predicted instruction mix diverges from the "
+             "target profile"),
+    CodeSpec("CF212", "static-dep", WARNING,
+             "statically predicted dependency-distance histogram "
+             "diverges from the target profile"),
+    CodeSpec("CF213", "static-branch", ERROR,
+             "statically predicted branch behaviour diverges from the "
+             "target profile"),
+    CodeSpec("CF214", "static-stream", ERROR,
+             "statically derived stream strides diverge from the memory "
+             "plan"),
+    CodeSpec("CF215", "static-footprint", ERROR,
+             "statically predicted data footprint diverges from the "
+             "profiled footprint"),
+    # --- Disclosure audit (repro.lint.disclosure) ---
+    CodeSpec("DL300", "unaccounted-literal", ERROR,
+             "immediate has no recorded provenance in the synthesis "
+             "statistics"),
+    CodeSpec("DL301", "raw-literal", ERROR,
+             "constant derives from a raw address/data value of the "
+             "profiled application"),
+    CodeSpec("DL302", "missing-provenance", WARNING,
+             "clone carries no provenance annotations; audit degraded "
+             "to raw-value screening"),
+    CodeSpec("DL303", "disclosure-audit", INFO,
+             "disclosure audit summary"),
 )}
 
 

@@ -1,0 +1,230 @@
+"""Disclosure audit (lint layer 3, ``DL3xx``).
+
+The paper's dissemination story only works if the clone can be proven
+to *not* leak the proprietary application it was synthesized from: a
+third party receiving the ``.s``/C artifact must be able to check that
+no constant in it derives from a raw address or data value observed in
+the profiled run.  This module is that proof.
+
+The argument is a small taint analysis over the clone's constant pool:
+
+* **Roots** — every literal the synthesizer emitted, annotated at
+  generation time with its provenance (``CloneResult.stats
+  ["provenance"]``, an ``{origin: [values]}`` mapping whose origins are
+  all *derived statistics* of the profile: reset periods, stream
+  advances, slot offsets, branch-pattern constants, the run-length
+  counter...), plus the constants the *assembler* introduces on its own
+  (data-symbol addresses and their ``lui``/``ori`` halves — layout of
+  the clone's own address space, fixed by the toolchain and identical
+  for any input).
+* **Closure** — roots are closed under the assembler's encoding
+  transforms: two's-complement 32-bit encoding and the ``li``
+  hi/lo-half split.
+* **Proof obligation** — every integer immediate in the assembled
+  program (with adjacent ``lui``/``ori`` pairs recombined into the
+  32-bit literal they materialize) must be reachable from the roots;
+  anything else is ``DL300`` (unaccounted).  Independently, every
+  literal — accounted or not — is screened against the *raw values* of
+  the profiled application (original instruction addresses and memory
+  endpoints recorded in the profile); an unjustified match is ``DL301``
+  (disclosure).  A justified match is allowed: it means the value is a
+  derived statistic (or the clone's own layout) that coincides with an
+  original address because both sides share one assembler, not because
+  information flowed.
+
+When a program carries no provenance annotations (hand-written kernels,
+clones from older synthesizers) the audit degrades soundly: it reports
+``DL302`` and still runs the raw-value screen when a profile is
+available.  ``DL303`` is the always-emitted summary line that the
+certificate and ``repro report`` surface.
+
+Raw values below :data:`COINCIDENCE_FLOOR` are never treated as
+secrets: the SRISC text segment starts at ``0x1000`` and the data
+segment at ``0x100000``, so genuine addresses clear the floor, while
+small integers (loop steps, shift counts, class counts) carry no
+information about the original.
+"""
+
+from repro.lint.diagnostics import LintReport, make_diagnostic
+
+#: Raw profile values smaller than this are not screenable secrets —
+#: below the text base every integer is an uninformative small constant.
+COINCIDENCE_FLOOR = 0x1000
+
+#: Cap on per-code diagnostics so a badly leaked fixture stays readable.
+_MAX_FINDINGS = 8
+
+_M32 = 0xFFFFFFFF
+
+
+def _encoding_closure(values):
+    """Close integer roots under the assembler's encoding transforms.
+
+    For every root ``v`` this adds the signed immediate itself, the
+    32-bit two's-complement encoding, and — for values ``li`` must
+    split — the ``lui`` high half and ``ori`` low half.
+    """
+    closed = set()
+    for value in values:
+        if not isinstance(value, int) or isinstance(value, bool):
+            continue  # float provenance (fp seeds) has no integer taint
+        closed.add(value)
+        encoded = value & _M32
+        closed.add(encoded)
+        if not -32768 <= value <= 32767:
+            closed.add(encoded >> 16)
+            closed.add(encoded & 0xFFFF)
+    return closed
+
+
+def _layout_roots(program):
+    """Constants the assembler introduces independent of any profile."""
+    roots = {0, program.data_base, program.text_base}
+    roots.update(program.data_symbols.values())
+    return roots
+
+
+def _provenance_roots(provenance):
+    values = set()
+    for origin_values in provenance.values():
+        for value in origin_values:
+            if isinstance(value, int) and not isinstance(value, bool):
+                values.add(value)
+    return values
+
+
+def extract_literals(program):
+    """``[(index, value, via)]`` integer literals of one program.
+
+    Adjacent ``lui rd, hi`` / ``ori rd, rd, lo`` pairs (and a lone
+    ``lui`` materializing a value whose low half is zero) are reported
+    as the single 32-bit literal they construct, attributed to the
+    ``lui``'s index with ``via="li"``; every other integer immediate is
+    reported as-is with ``via=op``.  Float immediates (``fli``) carry
+    no integer taint and are skipped.
+    """
+    literals = []
+    instructions = program.instructions
+    skip = -1
+    for index, instr in enumerate(instructions):
+        if index == skip:
+            continue
+        imm = instr.imm
+        if not isinstance(imm, int) or isinstance(imm, bool):
+            continue
+        if instr.opcode == "lui":
+            combined = (imm << 16) & _M32
+            if index + 1 < len(instructions):
+                nxt = instructions[index + 1]
+                if (nxt.opcode == "ori" and nxt.rd == instr.rd
+                        and nxt.rs1 == instr.rd
+                        and isinstance(nxt.imm, int)):
+                    combined |= nxt.imm & 0xFFFF
+                    skip = index + 1
+            literals.append((index, combined, "li"))
+            continue
+        literals.append((index, imm, instr.opcode))
+    return literals
+
+
+def profile_secrets(profile):
+    """Raw values of the profiled application that must not leak.
+
+    These are the only raw (non-statistic) values a
+    :class:`~repro.core.profile.WorkloadProfile` retains: original
+    instruction addresses (memop/branch pcs, per-block pc lists) and
+    the first/last absolute addresses each memory op touched.  Values
+    under :data:`COINCIDENCE_FLOOR` are dropped as unscreenable.
+    """
+    secrets = set()
+    for pc, stats in profile.mem_ops.items():
+        secrets.add(pc)
+        secrets.add(stats.first_address)
+        secrets.add(stats.last_address)
+    secrets.update(profile.branches)
+    for block in profile.blocks.values():
+        secrets.update(block.mem_pcs)
+        if block.branch_pc >= 0:
+            secrets.add(block.branch_pc)
+    return {value for value in secrets
+            if isinstance(value, int) and value >= COINCIDENCE_FLOOR}
+
+
+def audit_program(program, profile=None, provenance=None,
+                  severity_overrides=None):
+    """Run the disclosure audit over one assembled program."""
+    report = LintReport(program.name)
+    literals = extract_literals(program)
+
+    allowed = _encoding_closure(_layout_roots(program))
+    degraded = provenance is None
+    if degraded:
+        report.add(make_diagnostic(
+            "DL302",
+            "no provenance annotations recorded for this program; "
+            "audit degraded to raw-value screening",
+            severity_overrides=severity_overrides))
+    else:
+        allowed |= _encoding_closure(_provenance_roots(provenance))
+
+    unaccounted = []
+    if not degraded:
+        for index, value, via in literals:
+            if value not in allowed:
+                unaccounted.append((index, value, via))
+        for index, value, via in unaccounted[:_MAX_FINDINGS]:
+            report.add(make_diagnostic(
+                "DL300",
+                f"literal {value:#x} ({via}) has no recorded provenance",
+                severity_overrides=severity_overrides,
+                index=index, pc=program.pc_address(index),
+                data={"value": value, "via": via}))
+        if len(unaccounted) > _MAX_FINDINGS:
+            report.add(make_diagnostic(
+                "DL300",
+                f"...and {len(unaccounted) - _MAX_FINDINGS} more "
+                "unaccounted literal(s)",
+                severity_overrides=severity_overrides,
+                data={"count": len(unaccounted)}))
+
+    secrets = profile_secrets(profile) if profile is not None else set()
+    leaks = []
+    if secrets:
+        for index, value, via in literals:
+            if (value & _M32) in secrets and value not in allowed:
+                leaks.append((index, value, via))
+        for index, value, via in leaks[:_MAX_FINDINGS]:
+            report.add(make_diagnostic(
+                "DL301",
+                f"literal {value:#x} ({via}) matches a raw "
+                "address/value of the profiled application",
+                severity_overrides=severity_overrides,
+                index=index, pc=program.pc_address(index),
+                data={"value": value, "via": via}))
+        if len(leaks) > _MAX_FINDINGS:
+            report.add(make_diagnostic(
+                "DL301",
+                f"...and {len(leaks) - _MAX_FINDINGS} more leaked "
+                "literal(s)",
+                severity_overrides=severity_overrides,
+                data={"count": len(leaks)}))
+
+    verdict = ("degraded" if degraded
+               else "clean" if not (unaccounted or leaks) else "LEAK")
+    report.add(make_diagnostic(
+        "DL303",
+        f"disclosure audit {verdict}: {len(literals)} literal(s), "
+        f"{len(unaccounted)} unaccounted, {len(leaks)} raw-value "
+        f"match(es), {len(secrets)} screened secret(s)",
+        severity_overrides=severity_overrides,
+        data={"literals": len(literals), "unaccounted": len(unaccounted),
+              "leaks": len(leaks), "secrets": len(secrets),
+              "degraded": degraded}))
+    return report
+
+
+def audit_disclosure(clone, severity_overrides=None):
+    """Audit one :class:`~repro.core.synthesizer.CloneResult`."""
+    return audit_program(clone.program, profile=clone.profile,
+                         provenance=clone.stats.get("provenance"),
+                         severity_overrides=severity_overrides)

@@ -28,7 +28,7 @@ variable, and **zero-cost when off**: :func:`emit_event` is a single
 import json
 import os
 import time
-from contextlib import contextmanager
+from contextlib import contextmanager, suppress
 
 from repro.obs.logging import get_logger
 
@@ -71,7 +71,7 @@ class Journal:
             # closing could flush parent-buffered bytes twice.
             self._handle = None
         os.makedirs(self.run_dir, exist_ok=True)
-        self._handle = open(self.path, "a")
+        self._handle = open(self.path, "a")  # noqa: SIM115 — lives past this scope
         self._pid = pid
         self._seq = 0
         return self._handle
@@ -91,10 +91,8 @@ class Journal:
 
     def close(self):
         if self._handle is not None and self._pid == os.getpid():
-            try:
+            with suppress(OSError):
                 self._handle.close()
-            except OSError:
-                pass
         self._handle = None
 
 
@@ -129,10 +127,8 @@ def configure_journal(run_dir, fresh=False):
         return None
     if fresh:
         for name in _journal_files(run_dir):
-            try:
+            with suppress(OSError):
                 os.remove(os.path.join(run_dir, name))
-            except OSError:
-                pass
     _PREVIOUS_ENV = os.environ.get(JOURNAL_DIR_ENV)
     os.environ[JOURNAL_DIR_ENV] = run_dir
     _ACTIVE = Journal(run_dir)

@@ -22,7 +22,7 @@ import subprocess
 import sys
 import time
 
-MANIFEST_SCHEMA_VERSION = 3  # v3: optional sampling-profiler block
+MANIFEST_SCHEMA_VERSION = 4  # v4: optional safety-certificate block
 MANIFEST_FILENAME = "manifest.json"
 
 
@@ -88,12 +88,18 @@ class RunManifest:
     #: interval, sample count, and top (span, function) pairs.  None
     #: unless the run was started with ``--profile``.
     profile: dict = None
+    #: Machine-readable safety certificate for the run's clone
+    #: (:func:`repro.lint.safety_certificate`): termination verdict,
+    #: per-loop trip bounds, and the proven footprint interval.  None
+    #: when the run synthesized nothing (or the gate was off).
+    certificate: dict = None
     provenance: dict = dataclasses.field(default_factory=provenance)
     schema_version: int = MANIFEST_SCHEMA_VERSION
 
     @classmethod
     def collect(cls, command, target=None, seed=None, config=None,
-                wall_seconds=0.0, headline=None, lint=None, profile=None):
+                wall_seconds=0.0, headline=None, lint=None, profile=None,
+                certificate=None):
         """Build a manifest from the global tracer/registry state."""
         from repro.obs.metrics import REGISTRY
         from repro.obs.timing import TRACER
@@ -106,7 +112,8 @@ class RunManifest:
                    phases=TRACER.flat(), metrics=REGISTRY.snapshot(),
                    lint=dict(lint) if lint else None,
                    sweep=sweep if sweep.get("grids") else None,
-                   profile=dict(profile) if profile else None)
+                   profile=dict(profile) if profile else None,
+                   certificate=dict(certificate) if certificate else None)
 
     # ------------------------------------------------------------------
     def to_dict(self):
@@ -172,6 +179,9 @@ def validate_manifest(data):
     prof = expect("profile", dict, required=False, nullable=True)
     if prof is not None and "samples" not in prof:
         errors.append("profile missing 'samples'")
+    cert = expect("certificate", dict, required=False, nullable=True)
+    if cert is not None and "terminates" not in cert:
+        errors.append("certificate missing 'terminates'")
     prov = expect("provenance", dict)
     if prov is not None:
         for key in ("python", "platform", "created_at"):

@@ -19,6 +19,7 @@ Writing is zero-cost without a journal: :func:`begin_span` returns
 ``None`` after one check and :func:`end_span` ignores ``None``.
 """
 
+import contextlib
 import json
 import os
 
@@ -76,10 +77,8 @@ def end_span(handle, wall_s, cpu_s=None):
     if _STACK and _STACK[-1] == sid:
         _STACK.pop()
     else:  # unbalanced close (exception paths); drop if present anywhere
-        try:
+        with contextlib.suppress(ValueError):
             _STACK.remove(sid)
-        except ValueError:
-            pass
     journal = active_journal()
     if journal is None:
         return

@@ -469,10 +469,9 @@ def _trace_lines(unit, alloc):
     (:func:`_reconstruct`), taking trace capture off the per-unit
     critical path entirely.
     """
-    if unit.terminal[0] == "cond":
-        lines = [f"U({alloc(unit, 1)} if t else {alloc(unit, 0)})"]
-    else:
-        lines = [f"U({alloc(unit, None)})"]
+    lines = ([f"U({alloc(unit, 1)} if t else {alloc(unit, 0)})"]
+             if unit.terminal[0] == "cond"
+             else [f"U({alloc(unit, None)})"])
     mem_exprs = [addr for _pc, _lines, addr in unit.groups if addr != "-1"]
     if len(mem_exprs) == 1:
         lines.append(f"AA({mem_exprs[0]})")

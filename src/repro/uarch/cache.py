@@ -102,10 +102,8 @@ class Cache:
     def access(self, address):
         """Look up one address; returns True on hit.  Misses allocate."""
         block = address >> self._line_shift
-        if self._set_is_pow2:
-            index = block & self._set_mask
-        else:
-            index = block % len(self._sets)
+        index = (block & self._set_mask if self._set_is_pow2
+                 else block % len(self._sets))
         line_set = self._sets[index]
         self.stats.accesses += 1
         if block in line_set:
@@ -122,10 +120,8 @@ class Cache:
     def contains(self, address):
         """Non-mutating lookup (for tests and invariant checks)."""
         block = address >> self._line_shift
-        if self._set_is_pow2:
-            index = block & self._set_mask
-        else:
-            index = block % len(self._sets)
+        index = (block & self._set_mask if self._set_is_pow2
+                 else block % len(self._sets))
         return block in self._sets[index]
 
     def resident_lines(self):

@@ -23,6 +23,7 @@ fast-forward.  The semantics are identical either way; only the wall
 time differs.
 """
 
+import contextlib
 import ctypes
 import hashlib
 import os
@@ -265,10 +266,8 @@ def _compile_library():
     finally:
         for leftover in (source_path, source_path[:-2] + ".so"):
             if os.path.exists(leftover):
-                try:
+                with contextlib.suppress(OSError):
                     os.remove(leftover)
-                except OSError:
-                    pass
     return library
 
 

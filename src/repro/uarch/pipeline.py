@@ -530,7 +530,7 @@ class PipelineModel:
                 dispatch_earliest = rob_ring[rob_slot]
                 if telemetry:
                     rob_stalls += 1
-            is_mem = iclass == IClass.LOAD or iclass == IClass.STORE
+            is_mem = iclass in (IClass.LOAD, IClass.STORE)
             if is_mem:
                 lsq_slot = mem_index % config.lsq_size
                 if lsq_ring[lsq_slot] > dispatch_earliest:

@@ -232,10 +232,8 @@ class TraceDigest:
         self.b_pos = np.nonzero(branch_mask)[0]
         self.b_pcs = self.pcs[self.b_pos]
         self.b_taken = trace.taken[self.b_pos] == 1
-        if n:
-            memory_mask = static.is_mem[self.pcs]
-        else:
-            memory_mask = np.zeros(0, dtype=bool)
+        memory_mask = (static.is_mem[self.pcs] if n
+                       else np.zeros(0, dtype=bool))
         self.m_pos = np.nonzero(memory_mask)[0]
         self.m_addrs = trace.addrs[self.m_pos].astype(np.int64)
         # The kernels key branch handling off *static* cond-branch
@@ -756,7 +754,7 @@ def _generate_kernel_source(static, config, shift, emit_order):
         is_load = iclass == _LOAD
         is_mem = is_load or iclass == _STORE
         is_cond = bool(static.is_cond[pc])
-        unpipelined = iclass == _IDIV or iclass == _FDIV
+        unpipelined = iclass in (_IDIV, _FDIV)
         line_break = (not entry and
                       (static.pc_addresses[pc] >> shift)
                       != (static.pc_addresses[pc - 1] >> shift))
@@ -1277,14 +1275,12 @@ def _interpreted_range(low, high, digest, config, cache_bank, pred_bank,
 
         # ----- execute -------------------------------------------------
         if is_mem:
-            if iclass == _LOAD:
-                complete = issue_time + dacc_lat[di]
-            else:
-                complete = issue_time + 1
+            complete = (issue_time + dacc_lat[di] if iclass == _LOAD
+                        else issue_time + 1)
             di += 1
         else:
             complete = issue_time + latency_of_class[iclass]
-        pool[unit] = (complete if iclass == _IDIV or iclass == _FDIV
+        pool[unit] = (complete if iclass in (_IDIV, _FDIV)
                       else issue_time + 1)
         dest = st_dest[pc]
         if dest >= 0:

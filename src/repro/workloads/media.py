@@ -156,7 +156,7 @@ def g721_source():
     n = 1300
     samples = []
     phase = 0.0
-    for i in range(n):
+    for _ in range(n):
         phase += 0.09 + 0.04 * (rng.below(64) / 64.0)
         samples.append(int(5000 * math.sin(phase)) + rng.below(500) - 250)
 

@@ -263,7 +263,7 @@ def rsynth_source():
     # phoneme table: 3 harmonics x (step, amplitude)
     phonemes = []
     for _ in range(n_phonemes):
-        for harmonic in range(3):
+        for _harmonic in range(3):
             phonemes.append(1 + rng.below(24))   # phase step
             phonemes.append(2 + rng.below(14))   # amplitude (shift-scaled)
 

@@ -33,7 +33,7 @@ def adpcm_source():
     n = 2400
     samples = []
     phase = 0.0
-    for i in range(n):
+    for _ in range(n):
         phase += 0.05 + 0.02 * (rng.below(100) / 100.0)
         value = int(6000 * math.sin(phase) + 800 * math.sin(3.1 * phase))
         value += rng.below(400) - 200
@@ -175,7 +175,7 @@ def fft_source():
     signals = []
     for s in range(3):
         phase = 0.0
-        for i in range(n):
+        for _ in range(n):
             phase += 0.19 + 0.11 * s
             signals.append(round(math.sin(phase)
                                  + 0.5 * math.sin(2.7 * phase + s), 9))
@@ -292,7 +292,7 @@ def gsm_source():
     n_frames = 5
     samples = []
     phase = 0.0
-    for i in range(frame * n_frames):
+    for _ in range(frame * n_frames):
         phase += 0.11 + 0.05 * (rng.below(50) / 50.0)
         samples.append(int(4000 * math.sin(phase)) + rng.below(600) - 300)
 

@@ -1,0 +1,134 @@
+"""Corpus-wide static-vs-dynamic cross-check.
+
+For every kernel in the corpus (all 23) and a synthesized clone per
+kernel, everything the static layer *proves* must contain what the
+simulator *observes*, and everything it *predicts* must match what the
+profiler measures:
+
+* safety proofs: observed instruction counts, per-block visit counts,
+  and memory addresses fall inside the proven bounds — or the proof
+  honestly declined ("unbounded"), never a violated claim;
+* static profile prediction: bit-for-bit agreement with the dynamic
+  profile on every synthesized clone (the tentpole acceptance bar);
+* static conformance + disclosure audit: clean at the default scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SynthesisParameters, make_clone, profile_trace
+from repro.lint import (
+    analyze_program,
+    check_static_conformance,
+    lint_clone,
+    predict_profile,
+)
+from repro.sim import run_program
+from repro.workloads import build_workload, workload_names
+
+from tests.test_lint_staticprof import assert_profiles_identical
+
+ALL_KERNELS = workload_names()
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """Per-kernel pipeline products, built on demand and cached."""
+    cache = {}
+
+    def get(name):
+        entry = cache.get(name)
+        if entry is None:
+            program = build_workload(name)
+            trace = run_program(program)
+            profile = profile_trace(trace)
+            clone = make_clone(profile, SynthesisParameters())
+            clone_trace = run_program(clone.program,
+                                      max_instructions=5_000_000)
+            entry = cache[name] = {
+                "program": program, "trace": trace, "profile": profile,
+                "clone": clone, "clone_trace": clone_trace,
+            }
+        return entry
+
+    return get
+
+
+def _assert_proofs_contain_observed(program, trace):
+    """A proven bound violated by the trace is an analysis bug."""
+    result = analyze_program(program)
+    if result.terminates:
+        assert len(trace) <= result.instruction_bound
+        pcs = trace.pcs
+        for bid, bound in result.block_bounds.items():
+            start = result.cfg.blocks[bid].start
+            visits = int(np.count_nonzero(pcs == start))
+            assert visits <= bound, \
+                f"{program.name} block {bid}: {visits} > {bound}"
+    for loop in result.loops:
+        if loop.trip_bound is None:
+            continue
+        start = result.cfg.blocks[loop.header].start
+        visits = int(np.count_nonzero(trace.pcs == start))
+        outer = 1
+        for other in result.loops:
+            if other.header != loop.header and loop.header in other.body:
+                if other.trip_bound is None:
+                    # An unbounded enclosing loop re-enters this one an
+                    # unknown number of times: the per-entry bound makes
+                    # no whole-run claim, so there is nothing to check.
+                    outer = None
+                    break
+                outer *= other.trip_bound
+        if outer is not None:
+            assert visits <= loop.trip_bound * outer, \
+                f"{program.name} loop bb{loop.header}"
+    if result.footprint is not None:
+        lo, hi = result.footprint
+        addrs = trace.memory_addresses()
+        if len(addrs):
+            assert int(addrs.min()) >= lo, program.name
+            assert int(addrs.max()) < hi, program.name
+    else:
+        # No proof means the analysis must have said so explicitly.
+        assert result.unbounded_memops or result.degraded \
+            or not len(trace.memory_addresses())
+
+
+@pytest.mark.parametrize("name", ALL_KERNELS)
+class TestCorpusCrossCheck:
+    def test_kernel_proofs_sound(self, name, corpus):
+        entry = corpus(name)
+        _assert_proofs_contain_observed(entry["program"], entry["trace"])
+
+    def test_clone_proofs_sound(self, name, corpus):
+        entry = corpus(name)
+        _assert_proofs_contain_observed(entry["clone"].program,
+                                        entry["clone_trace"])
+        # Clones must additionally prove everything outright.
+        result = analyze_program(entry["clone"].program)
+        assert result.terminates
+        assert result.footprint is not None
+
+    def test_clone_prediction_bit_for_bit(self, name, corpus):
+        entry = corpus(name)
+        prediction = predict_profile(entry["clone"].program)
+        dynamic = profile_trace(entry["clone_trace"])
+        assert_profiles_identical(prediction.profile, dynamic)
+
+    def test_clone_static_gate_clean(self, name, corpus):
+        entry = corpus(name)
+        report, prediction = check_static_conformance(entry["clone"])
+        assert prediction is not None, report.render_text()
+        assert report.ok, report.render_text()
+
+    def test_clone_full_lint_clean(self, name, corpus):
+        entry = corpus(name)
+        report = lint_clone(entry["clone"])
+        assert report.ok, report.render_text()
+        # Info-level proof facts are present; no error/warning findings.
+        codes = set(report.codes())
+        assert "SR110" in codes
+        assert "SR112" in codes
+        assert "SR113" in codes
+        assert "DL303" in codes

@@ -1,0 +1,191 @@
+"""Disclosure audit (DL300-DL303): clones must not leak their source.
+
+Covers the taint closure, the raw-value screen, sound degradation
+without provenance, the deliberately-leaked fixture the issue demands,
+and the distinct CLI exit code (5) for audit failures.
+"""
+
+import pytest
+
+from repro.core import SynthesisParameters, make_clone
+from repro.core.synthesizer import CloneResult
+from repro.isa import assemble
+from repro.lint import audit_disclosure, lint_clone, profile_secrets
+from repro.lint.disclosure import (
+    COINCIDENCE_FLOOR,
+    _encoding_closure,
+    extract_literals,
+)
+
+
+def codes_of(report):
+    return {diag.code for diag in report.diagnostics}
+
+
+def _leaked_variant(clone, value):
+    """Re-assemble the clone with one raw literal injected."""
+    source = clone.asm_source.replace(
+        "    halt", f"    li r3, {value}\n    halt", 1)
+    assert source != clone.asm_source
+    return CloneResult(
+        program=assemble(source, name=clone.program.name),
+        asm_source=source, profile=clone.profile,
+        parameters=clone.parameters, stats=clone.stats)
+
+
+# ----------------------------------------------------------------------
+# Mechanics
+# ----------------------------------------------------------------------
+class TestTaintMechanics:
+    def test_encoding_closure_splits_large_values(self):
+        closed = _encoding_closure({0x100400})
+        assert 0x100400 in closed
+        assert 0x10 in closed  # lui high half
+        assert 0x0400 in closed  # ori low half
+
+    def test_encoding_closure_encodes_negatives(self):
+        closed = _encoding_closure({-1})
+        assert -1 in closed
+        assert 0xFFFFFFFF in closed
+
+    def test_floats_carry_no_integer_taint(self):
+        assert _encoding_closure({1.0001, 2}) == {2}
+
+    def test_extract_literals_recombines_li_pairs(self):
+        program = assemble("""
+    .text
+main:
+    li   r5, 1048576
+    li   r6, 7
+    halt
+""", name="li-pair")
+        literals = {value: via
+                    for _, value, via in extract_literals(program)}
+        assert literals[1048576] == "li"
+        assert literals[7] == "addi"
+
+    def test_profile_secrets_filters_small_values(self, loop_nest_profile):
+        secrets = profile_secrets(loop_nest_profile)
+        assert secrets  # data addresses clear the floor
+        assert all(value >= COINCIDENCE_FLOOR for value in secrets)
+
+
+# ----------------------------------------------------------------------
+# The audit on real synthesizer output
+# ----------------------------------------------------------------------
+class TestAuditOnClones:
+    def test_synthesized_clone_is_clean(self, loop_nest_clone):
+        report = audit_disclosure(loop_nest_clone)
+        assert codes_of(report) == {"DL303"}
+        summary = report.diagnostics[-1].data
+        assert summary["unaccounted"] == 0
+        assert summary["leaks"] == 0
+        assert summary["degraded"] is False
+        assert summary["literals"] > 0
+
+    def test_provenance_covers_every_literal(self, loop_nest_clone):
+        provenance = loop_nest_clone.stats["provenance"]
+        assert provenance  # synthesizer annotated its emissions
+        # Every origin is a derived statistic, never a raw address list.
+        assert set(provenance) <= {
+            "slot-offset", "mix-rotation", "branch-pattern",
+            "stream-advance", "loop-counter", "rng-step", "stream-phase",
+            "reset-period", "run-length", "rng-seed", "fp-seed"}
+
+    def test_leaked_raw_address_fails_dl300_and_dl301(self,
+                                                      loop_nest_clone):
+        secret = max(profile_secrets(loop_nest_clone.profile))
+        broken = _leaked_variant(loop_nest_clone, secret)
+        report = audit_disclosure(broken)
+        assert "DL301" in codes_of(report)
+        assert "DL300" in codes_of(report)
+        assert not report.ok
+
+    def test_unaccounted_but_not_secret_is_dl300_only(self,
+                                                      loop_nest_clone):
+        # A literal with no provenance that matches nothing raw: still
+        # an audit failure (unaccounted), but not a disclosure.
+        value = 0x7BCD
+        assert value not in profile_secrets(loop_nest_clone.profile)
+        broken = _leaked_variant(loop_nest_clone, value)
+        report = audit_disclosure(broken)
+        assert "DL300" in codes_of(report)
+        assert "DL301" not in codes_of(report)
+
+    def test_no_provenance_degrades_with_dl302(self, loop_nest_clone):
+        stripped = CloneResult(
+            program=loop_nest_clone.program,
+            asm_source=loop_nest_clone.asm_source,
+            profile=loop_nest_clone.profile,
+            parameters=loop_nest_clone.parameters,
+            stats={})  # older synthesizers recorded no provenance
+        report = audit_disclosure(stripped)
+        assert "DL302" in codes_of(report)
+        assert "DL300" not in codes_of(report)  # screening only
+        assert report.ok  # DL302 is warning severity
+
+    def test_degraded_screen_still_catches_raw_leaks(self,
+                                                     loop_nest_clone):
+        secret = max(profile_secrets(loop_nest_clone.profile))
+        broken = _leaked_variant(loop_nest_clone, secret)
+        stripped = CloneResult(
+            program=broken.program, asm_source=broken.asm_source,
+            profile=broken.profile, parameters=broken.parameters,
+            stats={})
+        report = audit_disclosure(stripped)
+        assert "DL302" in codes_of(report)
+        assert "DL301" in codes_of(report)
+        assert not report.ok
+
+    def test_lint_clone_merges_audit_findings(self, loop_nest_profile,
+                                              loop_nest_clone):
+        secret = max(profile_secrets(loop_nest_clone.profile))
+        broken = _leaked_variant(loop_nest_clone, secret)
+        report = lint_clone(broken)
+        assert "DL301" in report.codes()
+        assert not report.ok
+        without = lint_clone(broken, audit=False)
+        assert "DL301" not in without.codes()
+
+
+# ----------------------------------------------------------------------
+# CLI: audit failures exit with a distinct code
+# ----------------------------------------------------------------------
+class TestCliExitCode:
+    def test_leaked_clone_exits_5(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        real_make_clone = cli.make_clone
+
+        def leaky_make_clone(profile, parameters):
+            clone = real_make_clone(profile, parameters)
+            secret = max(profile_secrets(clone.profile))
+            return _leaked_variant(clone, secret)
+
+        monkeypatch.setattr(cli, "make_clone", leaky_make_clone)
+        code = cli.main(["lint", "crc32", "--clone", "--audit",
+                         "--instructions", "30000"])
+        assert code == cli.EXIT_AUDIT_FAILED
+        out = capsys.readouterr().out
+        assert "DL301" in out
+
+    def test_structural_failure_still_exits_4(self, tmp_path, capsys):
+        import repro.cli as cli
+        bad = tmp_path / "bad.s"
+        bad.write_text("""
+    .text
+main:
+    add  r6, r5, r7
+    sw   r6, 16(r0)
+    halt
+""")
+        code = cli.main(["lint", str(bad), "--audit"])
+        assert code == cli.EXIT_LINT_FAILED
+
+    def test_clean_clone_with_audit_exits_0(self, capsys):
+        import repro.cli as cli
+        code = cli.main(["lint", "crc32", "--clone", "--audit",
+                         "--static-profile", "--instructions", "30000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DL303" in out

@@ -34,7 +34,7 @@ class TestDiagnostics:
     def test_registry_is_well_formed(self):
         assert CODES
         for code, spec in CODES.items():
-            assert code.startswith(("SR1", "CF2"))
+            assert code.startswith(("SR1", "CF2", "DL3"))
             assert spec.severity in ("error", "warning", "info")
             assert spec.slug
             assert spec.summary

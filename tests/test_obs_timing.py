@@ -2,6 +2,8 @@
 
 import time
 
+import pytest
+
 from repro.obs.timing import Tracer
 
 
@@ -36,11 +38,8 @@ class TestSpans:
 
     def test_exception_still_records_span(self):
         tracer = Tracer()
-        try:
-            with tracer.span("boom"):
-                raise RuntimeError("x")
-        except RuntimeError:
-            pass
+        with pytest.raises(RuntimeError), tracer.span("boom"):
+            raise RuntimeError("x")
         assert tracer.flat()["boom"]["count"] == 1
         assert tracer.current_path() is None
 
@@ -63,9 +62,8 @@ class TestSpans:
 class TestDisabledTracer:
     def test_disabled_records_nothing(self):
         tracer = Tracer(enabled=False)
-        with tracer.span("outer"):
-            with tracer.span("inner"):
-                pass
+        with tracer.span("outer"), tracer.span("inner"):
+            pass
         assert tracer.flat() == {}
 
     def test_reset_clears_spans(self):

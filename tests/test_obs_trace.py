@@ -92,9 +92,8 @@ class TestSpanWriting:
         assert current_span_id() is None
 
     def test_tracer_span_is_traced(self, journal):
-        with TRACER.span("phase"):
-            with TRACER.span("step"):
-                pass
+        with TRACER.span("phase"), TRACER.span("step"):
+            pass
         names = [event["name"] for event in _span_events(journal)
                  if event["kind"] == "span_open"]
         assert names == ["phase", "step"]
