@@ -50,6 +50,9 @@ SPECS = {
     "static_lint": [
         ("rows", {4: "static"}),
     ],
+    "fleet_throughput": [
+        ("rows", {4: "fleet"}),
+    ],
 }
 
 

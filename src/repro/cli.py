@@ -777,6 +777,90 @@ def _tail_snapshot(merged):
     return "\n".join(lines)
 
 
+def cmd_fleet(args, ctx):
+    """Fleet-scale experiment matrices: run / resume / status / expand."""
+    from repro import fleet as _fleet
+
+    def _load_recipe_or_fail(path):
+        if not os.path.exists(path):
+            raise CliError(EXIT_BAD_TARGET, f"no recipe file at {path!r}")
+        try:
+            return _fleet.load_recipe(path)
+        except _fleet.RecipeError as exc:
+            raise CliError(EXIT_LOAD_FAILED,
+                           f"bad recipe {path}: {exc}") from exc
+
+    if args.action == "expand":
+        recipe = _load_recipe_or_fail(args.target)
+        cells = recipe.expand()
+        ctx.table(["cell_id", "kernel", "subject", "seed", "config"],
+                  [[cell.cell_id, cell.kernel, cell.subject, cell.seed,
+                    cell.config.name] for cell in cells], key="cells")
+        ctx.headline.update(recipe=recipe.name, cells=len(cells))
+        ctx.payload.update(recipe=recipe.name,
+                           recipe_digest=recipe.digest())
+        return EXIT_OK
+
+    if args.action == "status":
+        try:
+            status = _fleet.fleet_status(args.target)
+        except _fleet.FleetError as exc:
+            raise CliError(EXIT_BAD_TARGET, str(exc)) from exc
+        ctx.payload.update(status)
+        ctx.headline.update(cells=status["cells"],
+                            completed=status["completed"])
+        ctx.emit(f"recipe {status['recipe']} "
+                 f"({status['recipe_digest']}) in {status['run_dir']}")
+        ctx.emit(f"  {status['completed']}/{status['cells']} cells "
+                 f"complete, {status['leased']} leased, "
+                 f"{status['pending']} pending"
+                 + (", matrix.json exported" if status["matrix"] else ""))
+        for worker in status["workers"]:
+            ctx.emit(f"  worker {worker.get('worker')}: "
+                     f"{worker.get('executed')} executed "
+                     f"({worker.get('stolen')} stolen) in "
+                     f"{worker.get('wall_seconds')}s")
+        return EXIT_OK
+
+    # run / resume
+    if args.action == "run":
+        recipe = _load_recipe_or_fail(args.target)
+        run_dir = args.dir or f"fleet-{recipe.name}"
+    else:
+        recipe = None
+        run_dir = args.target
+        if not os.path.isdir(run_dir):
+            raise CliError(EXIT_BAD_TARGET,
+                           f"no fleet run directory at {run_dir!r}")
+    try:
+        summary = _fleet.run_fleet(run_dir, recipe, workers=args.workers,
+                                   lease_ttl=args.lease_ttl,
+                                   chaos=args.chaos_kill)
+    except (_fleet.FleetError, _fleet.RecipeError) as exc:
+        raise CliError(EXIT_ERROR, str(exc)) from exc
+    ctx.payload["fleet"] = {key: value for key, value in summary.items()
+                           if key != "worker_summaries"}
+    ctx.headline.update(cells=summary["cells"],
+                        completed=summary["completed"],
+                        executed=summary["executed"],
+                        workers=summary["workers"])
+    ctx.emit(f"recipe {summary['recipe']} "
+             f"({summary['recipe_digest']}): "
+             f"{summary['completed']}/{summary['cells']} cells complete "
+             f"({summary['executed']} executed, {summary['skipped']} "
+             f"resumed as done) with {summary['workers']} worker(s) "
+             f"in {summary['wall_seconds']:.2f}s")
+    for worker in summary["worker_summaries"]:
+        ctx.emit(f"  worker {worker['worker']}: {worker['executed']} "
+                 f"executed ({worker['stolen']} stolen)")
+    if summary["complete"]:
+        ctx.emit(f"matrix: {os.path.join(run_dir, 'matrix.json')}")
+        return EXIT_OK
+    ctx.emit(f"incomplete ({summary['dead_workers']} worker(s) died); "
+             f"finish with: repro fleet resume {run_dir}")
+    return EXIT_ERROR
+
+
 def cmd_tail(args, ctx):
     """Live (or one-shot) status of a run from its journal."""
     if not args.follow:
@@ -924,6 +1008,27 @@ def build_parser():
                    help="keep polling until the run ends")
     p.add_argument("--interval", type=float, default=1.0,
                    help="poll interval in seconds (with --follow)")
+
+    p = sub.add_parser("fleet", parents=[parent],
+                       help="fleet-scale experiment matrices "
+                            "(work-stealing workers, resumable)")
+    p.add_argument("action", choices=("run", "resume", "status", "expand"),
+                   help="run a recipe, resume/inspect a run dir, or "
+                        "preview a recipe's cell expansion")
+    p.add_argument("target",
+                   help="recipe .json (run/expand) or run directory "
+                        "(resume/status)")
+    p.add_argument("--dir", default=None, metavar="RUN_DIR",
+                   help="run directory for `run` "
+                        "(default: fleet-<recipe name>)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker process count (default 1)")
+    p.add_argument("--lease-ttl", type=float, default=None,
+                   help="seconds before an unrefreshed cell lease is "
+                        "considered abandoned")
+    p.add_argument("--chaos-kill", default=None, metavar="W:N",
+                   help="fault injection for tests/CI: worker W SIGKILLs "
+                        "itself mid-cell after executing N cells")
     return parser
 
 
@@ -931,7 +1036,7 @@ _HANDLERS = {
     "list": cmd_list, "profile": cmd_profile, "clone": cmd_clone,
     "compare": cmd_compare, "sweep": cmd_sweep, "estimate": cmd_estimate,
     "lint": cmd_lint, "report": cmd_report, "trace": cmd_trace,
-    "tail": cmd_tail,
+    "tail": cmd_tail, "fleet": cmd_fleet,
 }
 
 #: Commands that *read* run dirs: they never journal, collect a

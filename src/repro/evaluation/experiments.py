@@ -26,11 +26,11 @@ from repro.core.baseline import MicroarchDependentSynthesizer
 from repro.core.synthesizer import SynthesisParameters
 from repro.exec import parallel_map, pipeline_artifacts
 from repro.sim.functional import run_program
-from repro.uarch.branch_predictors import simulate_predictor
 from repro.uarch.cache import simulate_cache_sweep
 from repro.uarch.config import BASE_CONFIG, CACHE_SWEEP, DESIGN_CHANGES
-from repro.uarch.power import PowerModel
-from repro.uarch.sweep import simulate_pipeline_sweep
+from repro.uarch.power import shared_power_model
+from repro.uarch.sweep import (simulate_pipeline_sweep,
+                               simulate_predictor_sweep)
 from repro.evaluation.metrics import (
     mean_absolute_percentage_error,
     pearson,
@@ -164,7 +164,7 @@ def cache_correlation_study(names=None, configs=None, jobs=None):
 def _base_config_worker(task):
     name, config, max_instructions = task
     artifacts = workload_artifacts(name)
-    power_model = PowerModel(config)
+    power_model = shared_power_model(config)
     # A one-config "grid": the sweep path shares its digest and outcome
     # banks with the wider studies through the artifact store.
     [real] = simulate_pipeline_sweep(artifacts.trace, [config],
@@ -217,7 +217,7 @@ def _design_change_worker(task):
         artifacts.clone_trace, configs, max_instructions=max_instructions)
     rows = []
     for config, real, clone in zip(configs, real_results, clone_results):
-        power_model = PowerModel(config)
+        power_model = shared_power_model(config)
         rows.append({
             "ipc_real": real.ipc, "ipc_clone": clone.ipc,
             "power_real": power_model.evaluate(real).total,
@@ -293,8 +293,12 @@ def _baseline_comparison_worker(task):
                                       list(configs) + [profiled_cache])
     measured_miss = real_stats[-1].miss_rate
     real_row = [stats.misses / real_n for stats in real_stats[:-1]]
-    measured_mispredict = simulate_predictor(
-        artifacts.trace, BASE_CONFIG.predictor).stats.misprediction_rate
+    # The predictor-sweep path shares the per-trace mispredict outcome
+    # bank (in-process and via the store) with every pipeline sweep
+    # that uses the same predictor on this trace.
+    [measured_predictor] = simulate_predictor_sweep(
+        artifacts.trace, [BASE_CONFIG.predictor])
+    measured_mispredict = measured_predictor.stats.misprediction_rate
     baseline = MicroarchDependentSynthesizer(
         artifacts.profile, measured_miss, measured_mispredict,
         profiled_cache_bytes=profiled_cache.size,

@@ -16,7 +16,10 @@ the paper's whole evaluation — cheap to re-run:
 from repro.exec.artifacts import (
     DEFAULT_MAX_FUNCTIONAL,
     Artifacts,
+    TraceArtifacts,
     pipeline_artifacts,
+    trace_artifact_key,
+    trace_artifacts,
 )
 from repro.exec.parallel import parallel_map, resolve_jobs, shared_state_map
 from repro.exec.store import (
@@ -34,6 +37,7 @@ __all__ = [
     "Artifacts",
     "ArtifactStore",
     "DEFAULT_MAX_FUNCTIONAL",
+    "TraceArtifacts",
     "artifact_key",
     "cache_enabled",
     "default_cache_dir",
@@ -43,4 +47,6 @@ __all__ = [
     "reset_default_store",
     "resolve_jobs",
     "shared_state_map",
+    "trace_artifact_key",
+    "trace_artifacts",
 ]

@@ -144,3 +144,65 @@ def _text_writer(text):
         with open(path, "w") as handle:
             handle.write(text)
     return write
+
+
+# ----------------------------------------------------------------------
+# Trace-only entries (fleet cells timing the real workload need no
+# profile/clone, so they skip four fifths of the pipeline)
+# ----------------------------------------------------------------------
+@dataclass
+class TraceArtifacts:
+    """Just the functional-simulation products for one program."""
+
+    name: str
+    program: object
+    trace: object
+    sim_backend: str = "interp"
+
+
+def trace_artifact_key(name, source, max_instructions, sim_backend):
+    """Store key for a trace-only entry (disjoint from pipeline keys —
+    the sentinel parameters string is not a ``SynthesisParameters``
+    repr, so the two entry kinds can never alias)."""
+    return artifact_key(name, source, "trace-only", max_instructions,
+                        sim_backend=sim_backend)
+
+
+def trace_artifacts(name, source, max_instructions=DEFAULT_MAX_FUNCTIONAL,
+                    store=None):
+    """Run (or reload) just the real-workload functional simulation.
+
+    Same store semantics as :func:`pipeline_artifacts`; the entry holds
+    only ``trace.npz``.  Used by fleet cells with ``subject: real``,
+    which never need the profile or the clone.
+    """
+    store = default_store() if store is None else store
+    program = assemble(source, name=name)
+    sim_backend = resolve_backend(None, program)
+    key = trace_artifact_key(name, source, max_instructions, sim_backend)
+    cached = store.load(key)
+    if cached is not None:
+        meta, entry = cached
+        try:
+            with span("exec.artifacts.load"):
+                trace = DynamicTrace.load(
+                    os.path.join(entry, "trace.npz"), program)
+            return TraceArtifacts(name=name, program=program, trace=trace,
+                                  sim_backend=meta.get("sim_backend",
+                                                       "interp"))
+        except (OSError, KeyError, ValueError) as exc:
+            _LOG.warning("artifacts.trace_reload_failed", name=name,
+                         key=key, error=str(exc))
+    trace = run_program(program, max_instructions=max_instructions,
+                        backend=sim_backend)
+    meta = {
+        "name": name,
+        "kind": "trace-only",
+        "max_instructions": max_instructions,
+        "sim_backend": sim_backend,
+        "trace_instructions": len(trace),
+    }
+    with span("exec.artifacts.save"):
+        store.save(key, meta, {"trace.npz": trace.save})
+    return TraceArtifacts(name=name, program=program, trace=trace,
+                          sim_backend=sim_backend)

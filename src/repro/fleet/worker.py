@@ -1,0 +1,276 @@
+"""One fleet worker process: claim, execute, publish, steal.
+
+A worker owns one shard of the run's affinity-ordered cells
+(:mod:`repro.fleet.scheduler`) and works it head to tail, leasing each
+cell through the :class:`~repro.fleet.queue.FleetQueue` before timing
+it.  Because a shard keeps all of a trace's cells contiguous, the
+worker holds one :class:`~repro.uarch.incremental.IncrementalSession`
+per trace: consecutive cells differ in a knob or two, so each step is a
+planned incremental re-simulation over the already-digested trace and
+in-memory outcome banks, not a cold sweep.
+
+When its own shard drains the worker steals from the other shards'
+tails; when nothing is claimable it reclaims abandoned leases (dead
+pid / expired TTL) and retries, so a killed sibling's in-flight cell is
+re-executed rather than stranded.  Every published result is
+deterministic — exclusively :func:`cell_metrics` fields, which hold
+only simulation-defined numbers — so re-execution after a crash (or a
+racing duplicate publish) always writes the same bytes.
+
+``chaos`` is the fault-injection hook used by tests and the CI smoke
+job: ``(worker_index, after_cells)`` makes that worker SIGKILL itself
+*mid-cell* — after claiming its next cell but before publishing — once
+it has completed ``after_cells`` cells.
+"""
+
+import json
+import os
+import signal
+import time
+from collections import OrderedDict
+
+from repro.core.synthesizer import SynthesisParameters
+from repro.exec.artifacts import pipeline_artifacts, trace_artifacts
+from repro.fleet.queue import FleetQueue, _pid_alive
+from repro.fleet.recipe import recipe_from_dict
+from repro.fleet.scheduler import build_shards, steal_candidates
+from repro.obs.journal import emit_event, emit_metric_deltas
+from repro.obs.logging import get_logger
+from repro.obs.timing import TRACER
+from repro.uarch.incremental import IncrementalSession
+from repro.uarch.power import shared_power_model
+from repro.workloads import get_workload
+
+_LOG = get_logger("repro.fleet.worker")
+
+#: Result payload layout version.
+RESULT_SCHEMA_VERSION = 1
+
+#: In-process IncrementalSessions kept warm at once (a session pins its
+#: trace and every derived bank in memory; two covers the common
+#: "finish my group, steal into another" pattern without ballooning).
+_MAX_SESSIONS = 2
+
+#: Poll interval while waiting on other workers' live leases.
+_POLL_SECONDS = 0.05
+
+RECIPE_FILENAME = "recipe.json"
+CELLS_FILENAME = "cells.json"
+WORKERS_DIR = "workers"
+
+
+def parse_chaos(spec):
+    """``"index:after"`` (or ``(index, after)``) -> chaos tuple."""
+    if spec is None:
+        return None
+    if isinstance(spec, (tuple, list)):
+        index, after = spec
+        return int(index), int(after)
+    text = str(spec)
+    index, _, after = text.partition(":")
+    if not after:
+        index, after = "0", index
+    return int(index), int(after)
+
+
+def cell_metrics(result, power):
+    """The canonical (deterministic) metric dict for one cell.
+
+    Only simulation-defined numbers belong here: telemetry-gated
+    counters (rob/lsq/fetch-queue stalls, redirect cycles) and wall
+    times vary run to run and would break the byte-identical matrix
+    contract, so they are deliberately excluded.
+    """
+    return {
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "ipc": result.instructions / result.cycles,
+        "icache_accesses": result.icache_accesses,
+        "icache_misses": result.icache_misses,
+        "dcache_accesses": result.dcache_accesses,
+        "dcache_misses": result.dcache_misses,
+        "l2_accesses": result.l2_accesses,
+        "l2_misses": result.l2_misses,
+        "branch_lookups": result.branch_lookups,
+        "branch_mispredictions": result.branch_mispredictions,
+        "power": power,
+    }
+
+
+class FleetWorker:
+    """Executes one worker index's share of a fleet run."""
+
+    def __init__(self, run_dir, worker_index, n_workers,
+                 lease_ttl=None, chaos=None):
+        self.run_dir = run_dir
+        self.index = worker_index
+        self.n_workers = max(1, n_workers)
+        recipe_path = os.path.join(run_dir, RECIPE_FILENAME)
+        with open(recipe_path) as handle:
+            self.recipe = recipe_from_dict(json.load(handle))
+        self.cells = self.recipe.expand()
+        self.shards = build_shards(self.cells, self.n_workers)
+        kwargs = {} if lease_ttl is None else {"lease_ttl": lease_ttl}
+        self.queue = FleetQueue(run_dir, **kwargs)
+        self.chaos = parse_chaos(chaos)
+        self.worker_id = f"w{worker_index}-{os.getpid()}"
+        self.executed = 0
+        self.stolen = 0
+        self._sessions = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def _trace_for(self, cell):
+        source = get_workload(cell.kernel).source()
+        cap = self.recipe.functional_cap
+        if cell.subject == "clone":
+            parameters = SynthesisParameters(seed=cell.seed)
+            return pipeline_artifacts(cell.kernel, source, parameters,
+                                      max_instructions=cap).clone_trace
+        return trace_artifacts(cell.kernel, source,
+                               max_instructions=cap).trace
+
+    def _session_for(self, cell):
+        key = cell.trace_key
+        session = self._sessions.get(key)
+        if session is not None:
+            self._sessions.move_to_end(key)
+            return session
+        with TRACER.span("fleet.acquire_trace", kernel=cell.kernel,
+                         subject=cell.subject):
+            trace = self._trace_for(cell)
+        session = IncrementalSession(
+            trace, max_instructions=self.recipe.pipeline_cap)
+        self._sessions[key] = session
+        while len(self._sessions) > _MAX_SESSIONS:
+            self._sessions.popitem(last=False)
+        return session
+
+    def _execute(self, cell):
+        session = self._session_for(cell)
+        result = session.run(cell.config)
+        power = shared_power_model(cell.config).evaluate(result).total
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "cell": cell.to_dict(),
+            "metrics": cell_metrics(result, power),
+            "meta": {
+                "worker": self.worker_id,
+                "wall_seconds": result.wall_seconds,
+                "ts": round(time.time(), 6),
+            },
+        }
+
+    # ------------------------------------------------------------------
+    def _maybe_chaos_kill(self, cell):
+        if self.chaos is None:
+            return
+        index, after = self.chaos
+        if self.index == index and self.executed >= after:
+            # Mid-cell on purpose: the lease for ``cell`` is held and
+            # will be stranded until a sibling (or resume) reclaims it.
+            _LOG.warning("fleet.chaos_kill", worker=self.worker_id,
+                         cell=cell.cell_id, executed=self.executed)
+            emit_event("fleet", event="chaos_kill", cell=cell.cell_id,
+                       worker=self.worker_id)
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def _try_cell(self, cell, stolen=False):
+        if not self.queue.claim(cell.cell_id, self.worker_id,
+                                stolen=stolen):
+            return False
+        self._maybe_chaos_kill(cell)
+        with TRACER.span("fleet.cell", cell=cell.cell_id,
+                         kernel=cell.kernel, config=cell.config.name,
+                         stolen=stolen):
+            payload = self._execute(cell)
+        self.queue.complete(cell.cell_id, payload, worker=self.worker_id)
+        self.executed += 1
+        if stolen:
+            self.stolen += 1
+        done = len(self.queue.completed_ids())
+        emit_event("progress", done=done, total=len(self.cells),
+                   unit="cells", label=cell.cell_id)
+        emit_metric_deltas()
+        return True
+
+    def _pending(self):
+        completed = self.queue.completed_ids()
+        return [cell for cell in self.cells
+                if cell.cell_id not in completed]
+
+    def _live_lease_pending(self, pending):
+        """Whether any pending cell's lease looks alive (wait, don't
+        quit): held by a live same-host pid or heartbeat-fresh."""
+        now = time.time()
+        for cell in pending:
+            info = self.queue.lease_info(cell.cell_id)
+            if info is None:
+                return True  # released between scans: claimable next pass
+            if (info.get("host") == self.queue.host
+                    and isinstance(info.get("pid"), int)):
+                if _pid_alive(info["pid"]):
+                    return True
+                continue
+            if now - float(info.get("ts") or 0.0) <= self.queue.lease_ttl:
+                return True
+        return False
+
+    def run(self):
+        """Work the shard, then steal, until the matrix has no pending
+        claimable cells; returns a summary dict."""
+        self.queue.ensure_dirs()
+        started = time.perf_counter()
+        own = self.shards[self.index] if self.index < len(self.shards) \
+            else []
+        emit_event("fleet", event="worker_begin", worker=self.worker_id,
+                   shard=self.index, shard_cells=len(own),
+                   total=len(self.cells))
+        for cell in own:
+            self._try_cell(cell)
+        while True:
+            progress = False
+            completed = self.queue.completed_ids()
+            for cell in steal_candidates(
+                    self.shards, self.index,
+                    lambda cell: cell.cell_id not in completed):
+                if self._try_cell(cell, stolen=True):
+                    progress = True
+            pending = self._pending()
+            if not pending:
+                break
+            if progress:
+                continue
+            if self.queue.reclaim((cell.cell_id for cell in pending),
+                                  worker=self.worker_id):
+                continue
+            if self._live_lease_pending(pending):
+                time.sleep(_POLL_SECONDS)
+                continue
+            break  # nothing claimable, nothing reclaimable, owners gone
+        summary = {
+            "worker": self.worker_id,
+            "index": self.index,
+            "executed": self.executed,
+            "stolen": self.stolen,
+            "wall_seconds": round(time.perf_counter() - started, 6),
+        }
+        self._write_summary(summary)
+        emit_event("fleet", event="worker_end", **summary)
+        emit_metric_deltas()
+        return summary
+
+    def _write_summary(self, summary):
+        workers_dir = os.path.join(self.run_dir, WORKERS_DIR)
+        os.makedirs(workers_dir, exist_ok=True)
+        path = os.path.join(workers_dir, f"{self.worker_id}.json")
+        with open(path, "w") as handle:
+            json.dump(summary, handle, indent=2)
+            handle.write("\n")
+
+
+def worker_entry(run_dir, worker_index, n_workers, lease_ttl=None,
+                 chaos=None):
+    """Module-level process target (picklable for multiprocessing)."""
+    worker = FleetWorker(run_dir, worker_index, n_workers,
+                         lease_ttl=lease_ttl, chaos=chaos)
+    return worker.run()

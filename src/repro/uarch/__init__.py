@@ -31,9 +31,16 @@ from repro.uarch.config import (
     cache_sweep_configs,
 )
 from repro.uarch.pipeline import PipelineModel, PipelineResult, simulate_pipeline
-from repro.uarch.power import PowerModel, estimate_power
+from repro.uarch.power import (
+    PowerModel,
+    estimate_power,
+    power_key,
+    reset_shared_power_models,
+    shared_power_model,
+)
 from repro.uarch.sweep import (
     simulate_pipeline_sweep,
+    simulate_predictor_sweep,
     sweep_stats_snapshot,
     trace_digest,
 )
@@ -68,9 +75,13 @@ __all__ = [
     "make_predictor",
     "plan_incremental",
     "plan_profile_delta",
+    "power_key",
+    "reset_shared_power_models",
+    "shared_power_model",
     "simulate_cache",
     "simulate_cache_sweep",
     "simulate_predictor",
+    "simulate_predictor_sweep",
     "simulate_pipeline",
     "simulate_pipeline_sweep",
     "sweep_stats_snapshot",

@@ -127,7 +127,63 @@ class PowerModel:
         return breakdown
 
 
+# ----------------------------------------------------------------------
+# Shared models: one PowerModel per distinct geometry per process
+# ----------------------------------------------------------------------
+def power_key(config):
+    """The config subset a :class:`PowerModel`'s energies depend on.
+
+    Geometry only — widths, queue/array sizes, FU and port counts,
+    cache shapes, predictor kind.  Latency and penalty knobs never
+    enter the energy tables, so configs differing only in those share
+    one model (the power analog of the sweep engine's bank keys).
+    """
+    return (config.width, config.rob_size, config.lsq_size,
+            config.n_int_alu, config.n_int_mul, config.n_fp_alu,
+            config.n_fp_mul, config.n_mem_ports,
+            config.l1i, config.l1d, config.l2, config.predictor)
+
+
+_SHARED_MODELS = {}
+
+
+def shared_power_model(config):
+    """The process-wide :class:`PowerModel` for ``config``'s geometry.
+
+    Evaluation is pure (``evaluate`` never mutates the model), so
+    sharing is safe; construction cost — the CACTI-style energy
+    derivations — is paid once per distinct geometry instead of once
+    per (workload × config) cell.  Reuse feeds the sweep stats
+    (``power_models_built`` / ``power_models_reused``) surfaced by
+    ``repro report``.
+    """
+    key = power_key(config)
+    model = _SHARED_MODELS.get(key)
+    if model is None:
+        model = _SHARED_MODELS[key] = PowerModel(config)
+        _note_power("power_models_built")
+    else:
+        _note_power("power_models_reused")
+    return model
+
+
+def reset_shared_power_models():
+    """Drop the shared-model cache (tests)."""
+    _SHARED_MODELS.clear()
+
+
+def _note_power(key):
+    # Imported lazily: power is importable without the sweep engine.
+    from repro.uarch.sweep import _note
+    _note(key)
+
+
 def estimate_power(result, config=None):
-    """Total average power for a pipeline result (convenience)."""
-    model = PowerModel(config if config is not None else result.config)
+    """Total average power for a pipeline result (convenience).
+
+    Routed through :func:`shared_power_model`, so repeated estimates
+    across a grid reuse one model per geometry.
+    """
+    model = shared_power_model(
+        config if config is not None else result.config)
     return model.evaluate(result).total

@@ -55,7 +55,8 @@ from repro.obs.logging import get_logger
 from repro.obs.metrics import REGISTRY
 from repro.obs.timing import span
 from repro.uarch import native, steady
-from repro.uarch.branch_predictors import predictor_outcome_bank
+from repro.uarch.branch_predictors import (make_predictor,
+                                           predictor_outcome_bank)
 from repro.uarch.cache import per_access_hits
 from repro.uarch.pipeline import DECODE_DEPTH, PipelineResult
 
@@ -101,6 +102,8 @@ _INT_STATS = (
     "steady_rejects",
     "incremental_plans", "incremental_full_rebuilds",
     "incremental_reused_artifacts", "incremental_rebuilt_artifacts",
+    "predictor_sweeps", "predictor_sweep_kinds",
+    "power_models_built", "power_models_reused",
 )
 _FLOAT_STATS = ("codegen_seconds", "config_seconds", "grid_seconds",
                 "steady_seconds")
@@ -664,6 +667,50 @@ def _pred_bank_for(digest, config, store):
                    files={"bank.npz": _npz_writer({"miss": bank.miss})})
         _note("pred_banks_saved")
     return bank
+
+
+class _PredictorSpec:
+    """Just enough config surface for ``_predictor_key`` /
+    ``_pred_bank_for`` when there is no full MachineConfig."""
+
+    __slots__ = ("predictor", "predictor_kwargs")
+
+    def __init__(self, predictor, predictor_kwargs):
+        self.predictor = predictor
+        self.predictor_kwargs = predictor_kwargs
+
+
+def simulate_predictor_sweep(trace, specs, store=None):
+    """Misprediction stats for many predictors from one branch stream.
+
+    ``specs`` is an iterable of predictor kinds (``"gap"``) or
+    ``(kind, kwargs)`` pairs.  Returns one predictor object per spec,
+    in order, with ``stats`` populated exactly as
+    :func:`repro.uarch.branch_predictors.simulate_predictor` would —
+    but the per-branch outcome flags come from the sweep engine's
+    predictor outcome banks, so they are derived once per (trace,
+    predictor) across the whole process *and* persisted through the
+    artifact store: every later sweep, fleet cell, or experiment that
+    touches the same pair reuses them instead of re-walking the
+    branch stream.
+    """
+    specs = [(spec, {}) if isinstance(spec, str) else (spec[0],
+                                                      dict(spec[1]))
+             for spec in specs]
+    store = _resolve_store(trace, store)
+    digest = trace_digest(trace, store)
+    lookups = len(digest.b_pos)
+    results = []
+    for kind, kwargs in specs:
+        spec = _PredictorSpec(kind, kwargs)
+        bank = _pred_bank_for(digest, spec, store)
+        predictor = make_predictor(kind, **kwargs)
+        predictor.stats.lookups = lookups
+        predictor.stats.mispredictions = int(bank.miss_cum[-1])
+        results.append(predictor)
+    _note("predictor_sweeps")
+    _note("predictor_sweep_kinds", len(specs))
+    return results
 
 
 # ----------------------------------------------------------------------

@@ -267,3 +267,81 @@ main:
         # A clone command on a workload succeeds (gate passes)...
         assert main(["clone", "crc32", "--instructions", "20000"]) == 0
         assert "lint:" in capsys.readouterr().out
+
+
+FLEET_RECIPE = {
+    "name": "cli-grid",
+    "kernels": ["crc32"],
+    "pipeline_cap": 20_000,
+    "axes": {"width": [1, 2]},
+}
+
+
+class TestFleet:
+    def write_recipe(self, tmp_path, payload=None):
+        path = tmp_path / "recipe.json"
+        path.write_text(json.dumps(payload or FLEET_RECIPE))
+        return str(path)
+
+    def test_expand_previews_cells(self, tmp_path, capsys):
+        recipe = self.write_recipe(tmp_path)
+        assert main(["fleet", "expand", recipe]) == 0
+        out = capsys.readouterr().out
+        assert out.count("crc32-s0-") == 2
+        assert "width=1" in out and "width=2" in out
+
+    def test_run_status_resume_cycle(self, tmp_path, capsys):
+        recipe = self.write_recipe(tmp_path)
+        run_dir = str(tmp_path / "run")
+        assert main(["fleet", "run", recipe, "--dir", run_dir]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 cells complete" in out
+        assert os.path.exists(os.path.join(run_dir, "matrix.json"))
+
+        assert main(["fleet", "status", run_dir]) == 0
+        assert "matrix.json exported" in capsys.readouterr().out
+
+        assert main(["fleet", "resume", run_dir]) == 0
+        assert "2 resumed as done" in capsys.readouterr().out
+
+    def test_run_json_payload(self, tmp_path, capsys):
+        recipe = self.write_recipe(tmp_path)
+        run_dir = str(tmp_path / "run")
+        assert main(["fleet", "run", recipe, "--dir", run_dir,
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fleet"]["complete"] is True
+        assert payload["fleet"]["cells"] == 2
+
+    def test_tail_follows_fleet_run_dir(self, tmp_path, capsys):
+        recipe = self.write_recipe(tmp_path)
+        run_dir = str(tmp_path / "run")
+        main(["fleet", "run", recipe, "--dir", run_dir])
+        capsys.readouterr()
+        assert main(["tail", run_dir]) == 0
+        assert "cells" in capsys.readouterr().out
+
+    def test_incomplete_run_exits_nonzero_then_resumes(self, tmp_path,
+                                                       capsys):
+        recipe = self.write_recipe(tmp_path)
+        run_dir = str(tmp_path / "run")
+        code = main(["fleet", "run", recipe, "--dir", run_dir,
+                     "--workers", "1", "--chaos-kill", "0:1"])
+        assert code == 1
+        assert "repro fleet resume" in capsys.readouterr().out
+        assert main(["fleet", "resume", run_dir]) == 0
+        assert "2/2 cells complete" in capsys.readouterr().out
+
+    def test_missing_recipe_bad_target(self, tmp_path):
+        assert main(["fleet", "run",
+                     str(tmp_path / "nope.json")]) == EXIT_BAD_TARGET
+
+    def test_invalid_recipe_load_failed(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"name": "x", "kernels": ["crc32"],
+                                   "axes": {"not_a_knob": [1]}}))
+        assert main(["fleet", "run", str(bad)]) == EXIT_LOAD_FAILED
+
+    def test_resume_missing_dir_bad_target(self, tmp_path):
+        assert main(["fleet", "resume",
+                     str(tmp_path / "absent")]) == EXIT_BAD_TARGET

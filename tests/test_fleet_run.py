@@ -1,0 +1,184 @@
+"""Fleet orchestration: end-to-end runs, crash/resume byte-identity."""
+
+import json
+import os
+
+import pytest
+
+from repro.fleet import (
+    FleetError,
+    FleetQueue,
+    Recipe,
+    collect_matrix,
+    fleet_status,
+    init_run,
+    matrix_bytes,
+    run_fleet,
+)
+
+PAIR = Recipe(name="pair", kernels=["crc32"], pipeline_cap=20_000,
+              axes={"width": [1, 2]})
+
+GRID = Recipe(name="grid", kernels=["crc32", "sha"], pipeline_cap=20_000,
+              axes={"width": [1, 2], "predictor": ["gap", "nottaken"]})
+
+
+def result_snapshot(run_dir):
+    """(bytes, mtime_ns) of every published result file."""
+    results_dir = os.path.join(run_dir, "results")
+    snapshot = {}
+    for name in sorted(os.listdir(results_dir)):
+        path = os.path.join(results_dir, name)
+        with open(path, "rb") as handle:
+            snapshot[name] = (handle.read(), os.stat(path).st_mtime_ns)
+    return snapshot
+
+
+class TestRun:
+    def test_single_worker_completes_and_exports(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        summary = run_fleet(run_dir, PAIR)
+        assert summary["complete"] is True
+        assert summary["cells"] == summary["completed"] == 2
+        assert summary["executed"] == 2 and summary["skipped"] == 0
+        assert os.path.exists(os.path.join(run_dir, "matrix.json"))
+        matrix = collect_matrix(run_dir)
+        assert [row["config"] for row in matrix["cells"]] == \
+            ["width=1", "width=2"]
+        for row in matrix["cells"]:
+            metrics = row["metrics"]
+            assert metrics["instructions"] > 0
+            assert metrics["cycles"] > 0
+            assert metrics["power"] > 0
+
+    def test_resume_skips_completed_byte_for_byte(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        run_fleet(run_dir, PAIR)
+        before = result_snapshot(run_dir)
+        matrix_before = open(os.path.join(run_dir, "matrix.json"),
+                             "rb").read()
+        summary = run_fleet(run_dir)  # recipe=None: the resume path
+        assert summary["executed"] == 0
+        assert summary["skipped"] == 2
+        assert result_snapshot(run_dir) == before  # bytes AND mtimes
+        assert open(os.path.join(run_dir, "matrix.json"),
+                    "rb").read() == matrix_before
+
+    def test_two_workers_match_one_worker_bytes(self, tmp_path):
+        solo = str(tmp_path / "solo")
+        duo = str(tmp_path / "duo")
+        run_fleet(solo, GRID, workers=1)
+        summary = run_fleet(duo, GRID, workers=2)
+        assert summary["complete"] is True
+        assert matrix_bytes(duo) == matrix_bytes(solo)
+
+    def test_run_dir_bound_to_one_recipe(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        init_run(run_dir, PAIR)
+        with pytest.raises(FleetError, match="refusing"):
+            init_run(run_dir, GRID)
+
+    def test_incomplete_matrix_refuses_collection(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        init_run(run_dir, PAIR)
+        with pytest.raises(FleetError, match="incomplete"):
+            collect_matrix(run_dir)
+
+    def test_journal_lands_in_run_dir(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        run_fleet(run_dir, PAIR)
+        events = []
+        for name in os.listdir(run_dir):
+            if name.startswith("journal-") and name.endswith(".jsonl"):
+                with open(os.path.join(run_dir, name)) as handle:
+                    events.extend(json.loads(line) for line in handle
+                                  if line.strip())
+        kinds = {event.get("event") for event in events
+                 if event.get("kind") == "fleet"}
+        assert {"run_begin", "claim", "complete", "run_end"} <= kinds
+        assert any(event.get("kind") == "progress"
+                   and event.get("unit") == "cells" for event in events)
+
+
+class TestStatus:
+    def test_fresh_dir_status(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        init_run(run_dir, PAIR)
+        status = fleet_status(run_dir)
+        assert status["cells"] == 2 and status["completed"] == 0
+        assert status["pending"] == 2 and not status["complete"]
+        assert status["matrix"] is False
+
+    def test_complete_status_carries_worker_summaries(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        run_fleet(run_dir, PAIR)
+        status = fleet_status(run_dir)
+        assert status["complete"] is True and status["matrix"] is True
+        assert status["leased"] == 0
+        assert sum(worker["executed"]
+                   for worker in status["workers"]) == 2
+
+    def test_not_a_run_dir(self, tmp_path):
+        with pytest.raises(FleetError, match="not a fleet run"):
+            fleet_status(str(tmp_path / "nope"))
+
+
+class TestCrashResume:
+    """The acceptance scenario: SIGKILL a worker mid-cell, resume, and
+    get a byte-identical matrix with completed cells skipped."""
+
+    def test_sigkill_then_resume_is_byte_identical(self, tmp_path):
+        reference = str(tmp_path / "reference")
+        run_fleet(reference, GRID)
+
+        run_dir = str(tmp_path / "chaotic")
+        crashed = run_fleet(run_dir, GRID, workers=1, chaos="0:2")
+        assert crashed["complete"] is False
+        assert crashed["dead_workers"] == 1
+        assert crashed["completed"] == 2  # chaos fired after 2 cells
+        # The stranded mid-cell lease was reclaimed by the orchestrator.
+        queue = FleetQueue(run_dir)
+        assert queue.leased_ids() - queue.completed_ids() == set()
+
+        survivors = result_snapshot(run_dir)
+        resumed = run_fleet(run_dir)
+        assert resumed["complete"] is True
+        assert resumed["skipped"] == 2
+        assert resumed["executed"] == 6
+        # Surviving results were never rewritten (bytes and mtimes)...
+        after = result_snapshot(run_dir)
+        assert {name: after[name] for name in survivors} == survivors
+        # ...no duplicates appeared...
+        assert len(after) == 8
+        # ...and the final matrix is byte-identical to the
+        # never-interrupted reference run.
+        assert matrix_bytes(run_dir) == matrix_bytes(reference)
+
+    def test_sibling_reclaims_dead_workers_cell_live(self, tmp_path):
+        reference = str(tmp_path / "reference")
+        run_fleet(reference, GRID)
+
+        run_dir = str(tmp_path / "chaotic")
+        # Worker 0 dies mid-cell after 1 cell; worker 1 must pick up the
+        # stranded lease (dead-pid fast path) and finish the whole
+        # matrix in this single invocation.
+        summary = run_fleet(run_dir, GRID, workers=2, chaos="0:1")
+        assert summary["dead_workers"] == 1
+        assert summary["complete"] is True
+        assert matrix_bytes(run_dir) == matrix_bytes(reference)
+
+    def test_reclaim_event_journaled(self, tmp_path):
+        run_dir = str(tmp_path / "chaotic")
+        run_fleet(run_dir, GRID, workers=2, chaos="0:1")
+        events = []
+        for name in os.listdir(run_dir):
+            if name.startswith("journal-") and name.endswith(".jsonl"):
+                with open(os.path.join(run_dir, name)) as handle:
+                    events.extend(json.loads(line) for line in handle
+                                  if line.strip())
+        reclaims = [event for event in events
+                    if event.get("kind") == "fleet"
+                    and event.get("event") == "reclaim"]
+        assert reclaims
+        assert any(event.get("reason") == "dead_pid"
+                   for event in reclaims)

@@ -1,0 +1,101 @@
+"""Outcome-bank predictor sweeps and shared power models (reuse paths)."""
+
+import dataclasses
+
+import pytest
+
+from repro.uarch import (
+    BASE_CONFIG,
+    PowerModel,
+    power_key,
+    reset_shared_power_models,
+    shared_power_model,
+    simulate_pipeline,
+    simulate_predictor,
+    simulate_predictor_sweep,
+)
+from repro.uarch.sweep import sweep_stats_snapshot
+
+KINDS = [
+    "gap",
+    "bimodal",
+    "nottaken",
+    "taken",
+    ("gshare", {"history_bits": 6}),
+    ("bimodal", {"entries": 256}),
+]
+
+
+class TestPredictorSweep:
+    def test_matches_direct_simulation(self, loop_nest_trace):
+        swept = simulate_predictor_sweep(loop_nest_trace, KINDS)
+        assert len(swept) == len(KINDS)
+        for spec, predictor in zip(KINDS, swept):
+            kind, kwargs = (spec, {}) if isinstance(spec, str) else spec
+            direct = simulate_predictor(loop_nest_trace, kind, **kwargs)
+            assert predictor.stats.lookups == direct.stats.lookups
+            assert predictor.stats.mispredictions == \
+                direct.stats.mispredictions
+
+    def test_results_in_spec_order(self, loop_nest_trace):
+        from repro.uarch import AlwaysNotTaken, TwoLevelGAp
+        gap, nottaken = simulate_predictor_sweep(
+            loop_nest_trace, ["gap", "nottaken"])
+        assert isinstance(gap, TwoLevelGAp)
+        assert isinstance(nottaken, AlwaysNotTaken)
+
+    def test_counters_advance(self, loop_nest_trace):
+        before = sweep_stats_snapshot()
+        simulate_predictor_sweep(loop_nest_trace, ["gap", "bimodal"])
+        after = sweep_stats_snapshot()
+        assert after["predictor_sweeps"] == before["predictor_sweeps"] + 1
+        assert after["predictor_sweep_kinds"] == \
+            before["predictor_sweep_kinds"] + 2
+
+    def test_second_sweep_reuses_banks(self, loop_nest_trace):
+        simulate_predictor_sweep(loop_nest_trace, ["gap"])
+        before = sweep_stats_snapshot()
+        simulate_predictor_sweep(loop_nest_trace, ["gap"])
+        after = sweep_stats_snapshot()
+        # The outcome bank for (trace, gap) already exists: no rebuild.
+        assert after["pred_banks_built"] == before["pred_banks_built"]
+
+
+class TestSharedPowerModels:
+    def setup_method(self):
+        reset_shared_power_models()
+
+    def test_one_model_per_geometry(self):
+        first = shared_power_model(BASE_CONFIG)
+        again = shared_power_model(BASE_CONFIG)
+        assert first is again
+
+    def test_latency_knobs_share_a_model(self):
+        slow_memory = dataclasses.replace(BASE_CONFIG, name="slow",
+                                          memory_latency=400)
+        assert power_key(slow_memory) == power_key(BASE_CONFIG)
+        assert shared_power_model(slow_memory) is \
+            shared_power_model(BASE_CONFIG)
+
+    def test_geometry_knobs_split_models(self):
+        wide = dataclasses.replace(BASE_CONFIG, name="wide", width=8)
+        assert power_key(wide) != power_key(BASE_CONFIG)
+        assert shared_power_model(wide) is not \
+            shared_power_model(BASE_CONFIG)
+
+    def test_counters_advance(self):
+        before = sweep_stats_snapshot()
+        shared_power_model(BASE_CONFIG)
+        shared_power_model(BASE_CONFIG)
+        after = sweep_stats_snapshot()
+        assert after["power_models_built"] == \
+            before["power_models_built"] + 1
+        assert after["power_models_reused"] == \
+            before["power_models_reused"] + 1
+
+    def test_shared_evaluation_matches_private_model(self, loop_nest_trace):
+        result = simulate_pipeline(loop_nest_trace, BASE_CONFIG,
+                                   max_instructions=20_000)
+        private = PowerModel(BASE_CONFIG).evaluate(result).total
+        shared = shared_power_model(BASE_CONFIG).evaluate(result).total
+        assert shared == pytest.approx(private, rel=0, abs=0)
