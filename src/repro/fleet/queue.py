@@ -13,11 +13,15 @@ store uses, so a reader never sees a torn result and re-publication of
 an identical result is harmless (the cells are deterministic).
 
 A lease carries the owner's pid/host and is refreshed by
-:meth:`FleetQueue.heartbeat`; :meth:`reclaim` releases leases whose
-owner is provably dead (same host, pid gone) immediately and any other
-lease after ``lease_ttl`` seconds without a heartbeat — so a
-SIGKILL-ed worker strands its in-flight cell for at most one TTL, and
-in the common single-host case for no time at all.
+:meth:`FleetQueue.heartbeat` (workers beat from a daemon thread for as
+long as a cell executes); :meth:`reclaim` releases leases whose owner
+is provably dead (same host, pid gone) immediately and any other lease
+after ``lease_ttl`` seconds without a heartbeat — so a SIGKILL-ed
+worker strands its in-flight cell for at most one TTL, and in the
+common single-host case for no time at all.  A same-host owner whose
+pid is still alive is authoritative: its lease is never reclaimed on
+TTL age alone, so a cell that outlives the TTL is not re-executed by a
+sibling.
 
 Every claim / steal / complete / reclaim emits a ``fleet`` journal
 event, giving ``repro tail`` and post-mortem ``repro trace`` the full
@@ -195,7 +199,10 @@ class FleetQueue:
 
         A lease is abandoned when its cell has no result and either its
         owner pid is dead on this host (immediate) or its last
-        heartbeat is older than the TTL (cross-host fallback).
+        heartbeat is older than the TTL (cross-host fallback).  A
+        same-host owner whose pid is alive keeps the lease regardless
+        of TTL — matching the workers' own wait logic — so a slow cell
+        is never stolen from a live process.
         """
         if cell_ids is None:
             cell_ids = self.leased_ids()
@@ -209,12 +216,12 @@ class FleetQueue:
             info = self.lease_info(cell_id)
             if info is None:
                 continue
-            dead = (info.get("host") == self.host
-                    and isinstance(info.get("pid"), int)
-                    and info["pid"] != os.getpid()
-                    and not _pid_alive(info["pid"]))
+            same_host = (info.get("host") == self.host
+                         and isinstance(info.get("pid"), int))
+            alive_here = same_host and _pid_alive(info["pid"])
+            dead = same_host and not alive_here
             expired = now - float(info.get("ts") or 0.0) > self.lease_ttl
-            if not dead and not expired:
+            if not dead and (alive_here or not expired):
                 continue
             self.release(cell_id)
             reclaimed.append(cell_id)

@@ -10,9 +10,13 @@ A run directory is the whole state of one matrix execution::
     <run>/journal-*.jsonl  run journal (claims, progress, spans)
 
 :func:`run_fleet` expands the recipe, pins every pending cell's trace
-artifacts in the store (so a long matrix cannot LRU-evict its own
-inputs mid-run), reclaims abandoned leases, and fans the shards out to
-worker processes.  Invoking it again on the same directory *is* the
+artifacts in the store, reclaims abandoned leases, and fans the shards
+out to worker processes; each worker additionally pins the digest/bank
+entries of its live sessions once it holds the trace content needed to
+key them.  Pinning is best-effort — it guards future prunes only, so
+an eviction racing the pin write just costs a re-derivation — but it
+keeps a long matrix from routinely LRU-evicting its own warm inputs
+mid-run.  Invoking it again on the same directory *is* the
 resume path: completed cells are skipped byte-for-byte (their result
 files are never rewritten), only pending cells execute.  When the last
 cell lands the canonical matrix — deterministic metrics only, sorted
@@ -101,7 +105,13 @@ def load_run_recipe(run_dir):
 # Pin-while-leased: a live run's inputs are not LRU fodder
 # ----------------------------------------------------------------------
 def _pending_artifact_keys(recipe, cells, queue):
-    """Store keys the pending cells will read (trace entries)."""
+    """Store keys the pending cells will read (trace entries only).
+
+    The derived digest/bank entries are keyed by trace *content*, which
+    the orchestrator does not have; each worker pins those itself via
+    :meth:`~repro.fleet.worker.FleetWorker._pin_sessions` as its
+    sessions go live.
+    """
     from repro.core.synthesizer import SynthesisParameters
     from repro.sim.turbo import resolve_backend
     from repro.isa.assembler import assemble

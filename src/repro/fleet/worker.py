@@ -12,7 +12,14 @@ in-memory outcome banks, not a cold sweep.
 When its own shard drains the worker steals from the other shards'
 tails; when nothing is claimable it reclaims abandoned leases (dead
 pid / expired TTL) and retries, so a killed sibling's in-flight cell is
-re-executed rather than stranded.  Every published result is
+re-executed rather than stranded.  Each retry pass re-scans the own
+shard too: a thief can die holding a lease on an own-shard cell, and
+after the reclaim the shard owner may be the only worker left to run
+it (thieves never steal from their own shard).  While a cell executes
+its lease is refreshed from a daemon heartbeat thread, so a cell that
+outlives the lease TTL (trace acquisition under a 20M-instruction
+functional cap can) is never mistaken for abandoned.  Every published
+result is
 deterministic — exclusively :func:`cell_metrics` fields, which hold
 only simulation-defined numbers — so re-execution after a crash (or a
 racing duplicate publish) always writes the same bytes.
@@ -26,11 +33,14 @@ it has completed ``after_cells`` cells.
 import json
 import os
 import signal
+import threading
 import time
 from collections import OrderedDict
+from contextlib import contextmanager, suppress
 
 from repro.core.synthesizer import SynthesisParameters
 from repro.exec.artifacts import pipeline_artifacts, trace_artifacts
+from repro.exec.store import default_store
 from repro.fleet.queue import FleetQueue, _pid_alive
 from repro.fleet.recipe import recipe_from_dict
 from repro.fleet.scheduler import build_shards, steal_candidates
@@ -39,6 +49,7 @@ from repro.obs.logging import get_logger
 from repro.obs.timing import TRACER
 from repro.uarch.incremental import IncrementalSession
 from repro.uarch.power import shared_power_model
+from repro.uarch.sweep import bank_store_keys
 from repro.workloads import get_workload
 
 _LOG = get_logger("repro.fleet.worker")
@@ -53,6 +64,10 @@ _MAX_SESSIONS = 2
 
 #: Poll interval while waiting on other workers' live leases.
 _POLL_SECONDS = 0.05
+
+#: A held lease is refreshed at this fraction of the TTL while its cell
+#: executes, keeping cross-host TTL reclaim honest for slow cells.
+_HEARTBEAT_FRACTION = 1 / 3
 
 RECIPE_FILENAME = "recipe.json"
 CELLS_FILENAME = "cells.json"
@@ -117,6 +132,7 @@ class FleetWorker:
         self.executed = 0
         self.stolen = 0
         self._sessions = OrderedDict()
+        self._pin_owner = f"fleet-{self.worker_id}"
 
     # ------------------------------------------------------------------
     def _trace_for(self, cell):
@@ -143,7 +159,25 @@ class FleetWorker:
         self._sessions[key] = session
         while len(self._sessions) > _MAX_SESSIONS:
             self._sessions.popitem(last=False)
+        self._pin_sessions()
         return session
+
+    def _pin_sessions(self):
+        """Pin the digest/bank store keys the live sessions read and
+        write (the orchestrator can pin only trace entries up front —
+        these keys need the trace content in hand).  Best-effort, like
+        all pinning: it guards future prunes only, and a stale pin from
+        a SIGKILL-ed worker is garbage-collected by its dead pid."""
+        store = default_store()
+        if not store.enabled:
+            return
+        keys = set()
+        for trace_key, session in self._sessions.items():
+            configs = [cell.config for cell in self.cells
+                       if cell.trace_key == trace_key]
+            with suppress(Exception):
+                keys.update(bank_store_keys(session.trace, configs))
+        store.pin(self._pin_owner, sorted(keys))
 
     def _execute(self, cell):
         session = self._session_for(cell)
@@ -174,6 +208,28 @@ class FleetWorker:
                        worker=self.worker_id)
             os.kill(os.getpid(), signal.SIGKILL)
 
+    @contextmanager
+    def _heartbeating(self, cell_id):
+        """Refresh the held lease from a daemon thread while the cell
+        executes, so a cell outliving the TTL is never TTL-reclaimed
+        by a cross-host sibling mid-flight."""
+        stop = threading.Event()
+        interval = max(self.queue.lease_ttl * _HEARTBEAT_FRACTION,
+                       _POLL_SECONDS)
+
+        def beat():
+            while not stop.wait(interval):
+                self.queue.heartbeat(cell_id, self.worker_id)
+
+        thread = threading.Thread(target=beat, daemon=True,
+                                  name=f"fleet-hb-{cell_id}")
+        thread.start()
+        try:
+            yield
+        finally:
+            stop.set()
+            thread.join()
+
     def _try_cell(self, cell, stolen=False):
         if not self.queue.claim(cell.cell_id, self.worker_id,
                                 stolen=stolen):
@@ -181,7 +237,8 @@ class FleetWorker:
         self._maybe_chaos_kill(cell)
         with TRACER.span("fleet.cell", cell=cell.cell_id,
                          kernel=cell.kernel, config=cell.config.name,
-                         stolen=stolen):
+                         stolen=stolen), \
+                self._heartbeating(cell.cell_id):
             payload = self._execute(cell)
         self.queue.complete(cell.cell_id, payload, worker=self.worker_id)
         self.executed += 1
@@ -230,6 +287,15 @@ class FleetWorker:
         while True:
             progress = False
             completed = self.queue.completed_ids()
+            # Re-scan the own shard before stealing: a thief may have
+            # died holding one of these cells and, since thieves never
+            # steal from their own shard, after the reclaim the shard
+            # owner can be the only worker left able to claim it.
+            for cell in own:
+                if cell.cell_id in completed:
+                    continue
+                if self._try_cell(cell):
+                    progress = True
             for cell in steal_candidates(
                     self.shards, self.index,
                     lambda cell: cell.cell_id not in completed):
@@ -247,6 +313,8 @@ class FleetWorker:
                 time.sleep(_POLL_SECONDS)
                 continue
             break  # nothing claimable, nothing reclaimable, owners gone
+        with suppress(Exception):
+            default_store().unpin(self._pin_owner)
         summary = {
             "worker": self.worker_id,
             "index": self.index,

@@ -541,6 +541,28 @@ def _resolve_store(trace, store):
     return store if store.enabled else None
 
 
+def bank_store_keys(trace, configs):
+    """Store keys the sweep reads or writes for ``trace`` under
+    ``configs``: the trace digest entry plus each distinct cache and
+    predictor outcome bank.
+
+    Computable without building any of the artifacts (the trace content
+    digest and program fingerprint are memoized), which is what lets
+    the fleet's pin-while-leased layer shield a live run's warm
+    digest/bank entries from LRU pruning.  Compiled-kernel entries are
+    deliberately excluded: their keys need the emit order, and they are
+    the cheapest artifact to rebuild.
+    """
+    probe = TraceDigest.__new__(TraceDigest)
+    probe.trace = trace
+    probe.static = _static_tables(trace.program)
+    keys = {_store_key("digest", probe)}
+    for config in configs:
+        keys.add(_store_key("cbank", probe, repr(_hierarchy_key(config))))
+        keys.add(_store_key("pbank", probe, repr(_predictor_key(config))))
+    return sorted(keys)
+
+
 def trace_digest(trace, store=None):
     """The (cached) config-independent digest of one trace.
 

@@ -95,6 +95,16 @@ class TestReclaim:
                     ts=9_999_999_999.0)
         assert queue.reclaim(["cell-a"]) == []
 
+    def test_live_same_host_pid_kept_past_ttl(self, queue):
+        # A cell can run longer than the TTL; a provably-live owner is
+        # authoritative and its lease must not be expiry-reclaimed.
+        plant_lease(queue, "cell-a", pid=os.getppid(), ts=0.0)
+        assert queue.reclaim(["cell-a"]) == []
+
+    def test_dead_same_host_pid_reclaimed_past_ttl(self, queue):
+        plant_lease(queue, "cell-a", pid=find_dead_pid(), ts=0.0)
+        assert queue.reclaim(["cell-a"]) == ["cell-a"]
+
     def test_own_pid_never_self_reclaimed(self, queue):
         queue.claim("cell-a", "w0")
         queue.heartbeat("cell-a", "w0")

@@ -2,12 +2,15 @@
 
 import json
 import os
+import threading
+import time
 
 import pytest
 
 from repro.fleet import (
     FleetError,
     FleetQueue,
+    FleetWorker,
     Recipe,
     collect_matrix,
     fleet_status,
@@ -15,6 +18,15 @@ from repro.fleet import (
     matrix_bytes,
     run_fleet,
 )
+
+
+def dead_pid():
+    """A pid that provably does not exist right now."""
+    pid = os.fork()
+    if pid == 0:
+        os._exit(0)
+    os.waitpid(pid, 0)
+    return pid
 
 PAIR = Recipe(name="pair", kernels=["crc32"], pipeline_cap=20_000,
               axes={"width": [1, 2]})
@@ -182,3 +194,62 @@ class TestCrashResume:
         assert reclaims
         assert any(event.get("reason") == "dead_pid"
                    for event in reclaims)
+
+    def test_dead_thief_own_shard_lease_recovered(self, tmp_path):
+        """Regression: a dead thief's lease on an own-shard cell must be
+        re-run by the shard owner, not livelock the poll loop (thieves
+        never steal from their own shard, so after the reclaim the
+        owner can be the only worker able to claim it)."""
+        run_dir = str(tmp_path / "run")
+        init_run(run_dir, PAIR)
+        worker = FleetWorker(run_dir, 0, 1)
+        target = worker.shards[0][0]
+        record = {"worker": "thief", "pid": dead_pid(),
+                  "host": worker.queue.host, "ts": 9_999_999_999.0}
+        with open(worker.queue.lease_path(target.cell_id), "w") as fh:
+            json.dump(record, fh)
+        done = {}
+        thread = threading.Thread(
+            target=lambda: done.setdefault("summary", worker.run()),
+            daemon=True)
+        thread.start()
+        thread.join(timeout=120)
+        assert "summary" in done, "worker livelocked on own-shard cell"
+        assert done["summary"]["executed"] == 2
+        assert FleetQueue(run_dir).completed_ids() == \
+            {cell.cell_id for cell in worker.cells}
+
+
+class TestHeartbeat:
+    def test_lease_refreshed_while_cell_runs(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        init_run(run_dir, PAIR)
+        worker = FleetWorker(run_dir, 0, 1, lease_ttl=0.2)
+        cell = worker.shards[0][0]
+        assert worker.queue.claim(cell.cell_id, worker.worker_id)
+        before = worker.queue.lease_info(cell.cell_id)["ts"]
+        with worker._heartbeating(cell.cell_id):
+            time.sleep(0.5)
+        assert worker.queue.lease_info(cell.cell_id)["ts"] > before
+        worker.queue.release(cell.cell_id)
+
+    def test_slow_cells_never_expiry_stolen_from_live_workers(
+            self, tmp_path):
+        """With a TTL far below cell runtime, live same-host leases must
+        survive (no 'expired' reclaims, no duplicated execution)."""
+        run_dir = str(tmp_path / "run")
+        summary = run_fleet(run_dir, GRID, workers=2, lease_ttl=0.01)
+        assert summary["complete"] is True
+        status = fleet_status(run_dir)
+        assert sum(worker["executed"]
+                   for worker in status["workers"]) == 8
+        events = []
+        for name in os.listdir(run_dir):
+            if name.startswith("journal-") and name.endswith(".jsonl"):
+                with open(os.path.join(run_dir, name)) as handle:
+                    events.extend(json.loads(line) for line in handle
+                                  if line.strip())
+        assert not any(event.get("event") == "reclaim"
+                       and event.get("reason") == "expired"
+                       for event in events
+                       if event.get("kind") == "fleet")

@@ -127,12 +127,19 @@ class TestFleetIntegration:
                 return original(owner, keys)
 
             monkeypatch.setattr(store, "pin", spy)
-            run_fleet(str(tmp_path / "run"), recipe)
-            # The run pinned its pending trace key up front...
-            [(owner, keys)] = observed.items()
-            assert owner.startswith("fleet-")
-            assert len(keys) == 1
-            # ...and dropped the pin on the way out.
+            from repro.fleet.run import _pin_owner
+            run_dir = str(tmp_path / "run")
+            run_fleet(run_dir, recipe)
+            # The orchestrator pinned its pending trace key up front,
+            # and the (in-process) worker pinned its live session's
+            # digest/bank keys once it held the trace.
+            worker_owner = f"fleet-w0-{os.getpid()}"
+            assert set(observed) == {_pin_owner(run_dir), worker_owner}
+            assert len(observed[_pin_owner(run_dir)]) == 1
+            assert len(observed[worker_owner]) >= 3
+            assert all(key.startswith("sweep-")
+                       for key in observed[worker_owner])
+            # ...and every pin was dropped on the way out.
             assert store.pinned_keys() == frozenset()
         finally:
             monkeypatch.undo()

@@ -244,6 +244,22 @@ class TestPersistence:
         assert [result_fields(result) for result in cold] \
             == [result_fields(result) for result in warm]
 
+    def test_bank_store_keys_predict_persisted_entries(
+            self, loop_nest_trace, tmp_path, python_engine):
+        """The fleet's pin helper names exactly the digest/bank keys a
+        persisted sweep creates, without building any of them."""
+        from repro.uarch.sweep import bank_store_keys
+        store = ArtifactStore(root=str(tmp_path), enabled=True)
+        self._forget(loop_nest_trace)
+        predicted = bank_store_keys(loop_nest_trace, GRID[:4])
+        assert any(key.startswith("sweep-digest-") for key in predicted)
+        assert any(key.startswith("sweep-cbank-") for key in predicted)
+        assert any(key.startswith("sweep-pbank-") for key in predicted)
+        simulate_pipeline_sweep(loop_nest_trace, GRID[:4],
+                                max_instructions=CAP, store=store)
+        persisted = {key for key, _, _ in store.entries()}
+        assert set(predicted) <= persisted
+
     def test_corrupt_entries_are_rebuilt(self, loop_nest_trace, tmp_path,
                                          python_engine):
         store = ArtifactStore(root=str(tmp_path), enabled=True)
