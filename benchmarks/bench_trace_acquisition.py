@@ -1,0 +1,224 @@
+"""Trace-acquisition throughput: native C engine vs turbo vs interpreter,
+plus streamed vs materialized digest construction.
+
+Every timed pair doubles as an equality assertion — the native trace
+must be bit-identical to the interpreter's (arrays, registers, memory),
+and the streamed digest must agree with the materialized one on the
+content digest — so the recorded speedups are guaranteed to be
+numerics-preserving.
+
+The floors asserted here are the acquisition engine's contract: the
+native tier must stay at least 10x over the interpreter and 3x over
+turbo in geomean (measured: ~87x / ~23x on the 23-kernel corpus), so a
+slow host cannot mask an engine regression.
+
+Runs two ways:
+
+* under pytest-benchmark (the full 23-kernel corpus, persisted to
+  ``results/trace_acquisition.{txt,json}`` for EXPERIMENTS.md);
+* as a script: ``python benchmarks/bench_trace_acquisition.py --smoke``
+  runs a four-kernel slice with the same assertions and *no* result
+  files — the cheap CI gate against translator regressions.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs.journal import emit_event
+from repro.obs.timing import TRACER
+from repro.sim import FunctionalSimulator
+from repro.sim import native
+from repro.uarch.sweep import StreamingDigestBuilder, trace_digest
+from repro.workloads import build_workload, workload_names
+
+from _shared import emit, maybe_journal, run_once
+
+#: Functional cap: every corpus kernel completes well inside it.
+FUNCTIONAL_CAP = 5_000_000
+
+SMOKE_NAMES = ["crc32", "sha", "qsort", "fft"]
+
+#: In-bench geomean floors for the native engine (the acceptance
+#: criteria; the measured corpus geomeans are ~87x and ~23x).
+MIN_VS_INTERP = 10.0
+MIN_VS_TURBO = 3.0
+
+
+def _geomean(values):
+    return float(np.exp(np.mean(np.log(values))))
+
+
+def _timed_run(program, backend):
+    simulator = FunctionalSimulator(program, backend=backend)
+    start = time.perf_counter()
+    trace = simulator.run(max_instructions=FUNCTIONAL_CAP, trace=True)
+    return simulator, trace, time.perf_counter() - start
+
+
+def _best_of(program, backend, repeats=2):
+    best = None
+    for _ in range(repeats):
+        simulator, trace, seconds = _timed_run(program, backend)
+        best = seconds if best is None else min(best, seconds)
+    return simulator, trace, best
+
+
+def _acquisition_rows(names):
+    """Per-kernel interp/turbo/native MIPS, asserting bit-identity.
+
+    All backends are timed best-of-two on fresh simulator instances;
+    native's first run compiles its translation unit (the ``cold``
+    column — the ``.so`` is content-addressed per machine, so every
+    later process reuses it), the ``native MIPS`` / speedup columns are
+    the warm steady state that profiling and fleet acquisition pay.
+    """
+    rows = []
+    for index, name in enumerate(names):
+        with TRACER.span("bench.acquire", kernel=name):
+            program = build_workload(name)
+            interp_sim, interp_trace, interp_s = _best_of(program,
+                                                          "interp")
+            _, _, turbo_s = _best_of(program, "turbo")
+
+            native_sim, native_trace, cold_s = _timed_run(program,
+                                                          "native")
+            _, _, warm_a = _timed_run(program, "native")
+            _, _, warm_b = _timed_run(program, "native")
+            native_s = min(warm_a, warm_b)
+
+            assert np.array_equal(interp_trace.pcs, native_trace.pcs)
+            assert np.array_equal(interp_trace.addrs, native_trace.addrs)
+            assert np.array_equal(interp_trace.taken, native_trace.taken)
+            assert interp_sim.regs == native_sim.regs
+            assert bytes(interp_sim.memory.data) \
+                == bytes(native_sim.memory.data)
+
+            instructions = interp_sim.instructions_executed
+            rows.append([name, instructions,
+                         instructions / interp_s / 1e6,
+                         instructions / turbo_s / 1e6,
+                         instructions / cold_s / 1e6,
+                         instructions / native_s / 1e6,
+                         interp_s / native_s,
+                         turbo_s / native_s])
+        emit_event("progress", done=index + 1, total=len(names),
+                   unit="kernels", label=name)
+    return rows
+
+
+def _digest_rows(names):
+    """Streamed digest (native chunks, no trace) vs materialized."""
+    rows = []
+    for index, name in enumerate(names):
+        with TRACER.span("bench.digest", kernel=name):
+            program = build_workload(name)
+            _, trace, _ = _timed_run(program, "turbo")  # warm engines
+
+            start = time.perf_counter()
+            materialized_trace = FunctionalSimulator(
+                program, backend="turbo").run(
+                    max_instructions=FUNCTIONAL_CAP, trace=True)
+            materialized = trace_digest(materialized_trace, store=None)
+            materialized_s = time.perf_counter() - start
+
+            start = time.perf_counter()
+            builder = StreamingDigestBuilder(program)
+            native.stream_trace(
+                FunctionalSimulator(program, backend="native"),
+                FUNCTIONAL_CAP, builder.feed)
+            streamed = builder.finish()
+            streamed_s = time.perf_counter() - start
+
+            assert streamed.trace.content_digest() \
+                == materialized.trace.content_digest()
+            rows.append([name, len(trace),
+                         materialized_s * 1e3, streamed_s * 1e3,
+                         materialized_s / streamed_s])
+        emit_event("progress", done=index + 1, total=len(names),
+                   unit="digest kernels", label=name)
+    return rows
+
+
+def _measure(names):
+    acquisition_rows = _acquisition_rows(names)
+    digest_rows = _digest_rows(names)
+    return {
+        "acquisition_rows": acquisition_rows,
+        "digest_rows": digest_rows,
+        "geomean_vs_interp": _geomean(
+            [row[6] for row in acquisition_rows]),
+        "geomean_vs_turbo": _geomean(
+            [row[7] for row in acquisition_rows]),
+        "digest_geomean": _geomean([row[4] for row in digest_rows]),
+    }
+
+
+def _render(data):
+    from repro.evaluation import format_table
+    text = "functional trace acquisition (trace capture on):\n"
+    text += format_table(
+        ["kernel", "instructions", "interp MIPS", "turbo MIPS",
+         "cold MIPS", "native MIPS", "vs interp", "vs turbo"],
+        data["acquisition_rows"], float_format="{:.2f}")
+    text += (f"\n  geomean speedup: "
+             f"{data['geomean_vs_interp']:.2f}x over interp, "
+             f"{data['geomean_vs_turbo']:.2f}x over turbo\n")
+    text += "\nsweep digest construction (materialized vs streamed):\n"
+    text += format_table(
+        ["kernel", "instructions", "materialized ms", "streamed ms",
+         "speedup"],
+        data["digest_rows"], float_format="{:.2f}")
+    text += f"\n  geomean speedup: {data['digest_geomean']:.2f}x"
+    return text
+
+
+def _check_floors(data):
+    """The acceptance floors, asserted on every run (bench and CI)."""
+    assert data["geomean_vs_interp"] >= MIN_VS_INTERP, \
+        data["geomean_vs_interp"]
+    assert data["geomean_vs_turbo"] >= MIN_VS_TURBO, \
+        data["geomean_vs_turbo"]
+
+
+def test_trace_acquisition_speedups(benchmark):
+    if not native.available():
+        pytest.skip("no working C toolchain")
+    data = run_once(benchmark, lambda: _measure(workload_names()))
+    _check_floors(data)
+    emit("trace_acquisition", _render(data), data=data)
+
+
+def main(argv=None):
+    import argparse
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="four-kernel equivalence/floor gate; "
+                             "prints but persists nothing")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the measured data as JSON "
+                             "(for benchmarks/check_regression.py)")
+    args = parser.parse_args(argv)
+    if not native.available():
+        raise SystemExit("bench_trace_acquisition: no working C "
+                         "toolchain (cc) — nothing to measure")
+    names = SMOKE_NAMES if args.smoke else workload_names()
+    with maybe_journal("trace_acquisition"):
+        data = _measure(names)
+    print(_render(data))
+    _check_floors(data)
+    if not args.smoke:
+        emit("trace_acquisition", _render(data), data=data)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump({"name": "trace_acquisition", "data": data},
+                      handle, indent=2)
+            handle.write("\n")
+    print("\ntrace-acquisition bench OK "
+          f"({'smoke, ' if args.smoke else ''}{len(names)} kernels)")
+
+
+if __name__ == "__main__":
+    main()

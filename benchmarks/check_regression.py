@@ -43,6 +43,10 @@ SPECS = {
         ("functional_rows", {5: "cold", 6: "warm"}),
         ("pipeline_rows", {4: "pipeline"}),
     ],
+    "trace_acquisition": [
+        ("acquisition_rows", {6: "vs_interp", 7: "vs_turbo"}),
+        ("digest_rows", {4: "streamed"}),
+    ],
     "incremental_resim": [
         ("grid_rows", {4: "cold"}),
         ("knob_rows", {4: "incremental"}),

@@ -661,6 +661,8 @@ def cmd_report(args, ctx):
                      f"max={entry['max']}"
                      if entry.get("type") == "histogram"
                      else entry.get("value"))
+            if isinstance(value, float):
+                value = f"{value:.4f}"  # seconds counters, rate gauges
             rows.append([name, entry.get("type"), value])
         ctx.emit("\nmetrics:\n" + format_table(
             ["metric", "type", "value"], rows))
@@ -777,6 +779,17 @@ def _tail_snapshot(merged):
     return "\n".join(lines)
 
 
+def _worker_time_split(worker):
+    """`` (acquire 1.2s, timing 3.4s)`` from a worker summary dict, or
+    empty for summaries written before those fields existed."""
+    acquire = worker.get("sim_acquire_seconds")
+    timing = worker.get("uarch_time_seconds")
+    if acquire is None and timing is None:
+        return ""
+    return (f" (acquire {acquire or 0.0:.2f}s, "
+            f"timing {timing or 0.0:.2f}s)")
+
+
 def cmd_fleet(args, ctx):
     """Fleet-scale experiment matrices: run / resume / status / expand."""
     from repro import fleet as _fleet
@@ -819,7 +832,8 @@ def cmd_fleet(args, ctx):
             ctx.emit(f"  worker {worker.get('worker')}: "
                      f"{worker.get('executed')} executed "
                      f"({worker.get('stolen')} stolen) in "
-                     f"{worker.get('wall_seconds')}s")
+                     f"{worker.get('wall_seconds')}s"
+                     + _worker_time_split(worker))
         return EXIT_OK
 
     # run / resume
@@ -852,7 +866,8 @@ def cmd_fleet(args, ctx):
              f"in {summary['wall_seconds']:.2f}s")
     for worker in summary["worker_summaries"]:
         ctx.emit(f"  worker {worker['worker']}: {worker['executed']} "
-                 f"executed ({worker['stolen']} stolen)")
+                 f"executed ({worker['stolen']} stolen)"
+                 + _worker_time_split(worker))
     if summary["complete"]:
         ctx.emit(f"matrix: {os.path.join(run_dir, 'matrix.json')}")
         return EXIT_OK

@@ -44,7 +44,8 @@ class Artifacts:
     clone: object  # CloneResult
     clone_trace: object
     #: Resolved functional-simulator backend that produced (or, on a
-    #: cache hit, originally produced) the traces: ``turbo``/``interp``.
+    #: cache hit, originally produced) the traces:
+    #: ``native``/``turbo``/``interp``.
     sim_backend: str = "interp"
 
 

@@ -50,7 +50,7 @@ _LOG = get_logger("repro.exec.store")
 #: the validation) whenever trace/profile/clone serialization, the
 #: functional simulator, the profiler, or the synthesizer changes in a
 #: way that affects artifact content.
-ARTIFACT_SCHEMA_VERSION = 5  # v5: coverage-limited sweep digests/banks
+ARTIFACT_SCHEMA_VERSION = 6  # v6: per-column (streamable) trace digests
 
 META_FILENAME = "meta.json"
 #: File set of a classic pipeline entry; the default when an entry's

@@ -44,12 +44,14 @@ from repro.exec.store import default_store
 from repro.fleet.queue import FleetQueue, _pid_alive
 from repro.fleet.recipe import recipe_from_dict
 from repro.fleet.scheduler import build_shards, steal_candidates
+from repro.isa.assembler import assemble
 from repro.obs.journal import emit_event, emit_metric_deltas
 from repro.obs.logging import get_logger
 from repro.obs.timing import TRACER
+from repro.sim.turbo import resolve_backend
 from repro.uarch.incremental import IncrementalSession
 from repro.uarch.power import shared_power_model
-from repro.uarch.sweep import bank_store_keys
+from repro.uarch.sweep import acquire_trace_digest, bank_store_keys
 from repro.workloads import get_workload
 
 _LOG = get_logger("repro.fleet.worker")
@@ -131,6 +133,8 @@ class FleetWorker:
         self.worker_id = f"w{worker_index}-{os.getpid()}"
         self.executed = 0
         self.stolen = 0
+        self.acquire_seconds = 0.0
+        self.uarch_seconds = 0.0
         self._sessions = OrderedDict()
         self._pin_owner = f"fleet-{self.worker_id}"
 
@@ -142,6 +146,15 @@ class FleetWorker:
             parameters = SynthesisParameters(seed=cell.seed)
             return pipeline_artifacts(cell.kernel, source, parameters,
                                       max_instructions=cap).clone_trace
+        program = assemble(source, name=cell.kernel)
+        if resolve_backend(None, program) == "native":
+            # Default acquisition path: the native engine streams
+            # columnar chunks straight into the sweep digest, so the
+            # full trace is never materialized (and re-simulation is
+            # cheaper than an .npz round-trip).  The returned TraceRef
+            # carries the finished digest for the session's sweeps.
+            return acquire_trace_digest(program,
+                                        max_instructions=cap).trace
         return trace_artifacts(cell.kernel, source,
                                max_instructions=cap).trace
 
@@ -151,9 +164,11 @@ class FleetWorker:
         if session is not None:
             self._sessions.move_to_end(key)
             return session
+        acquire_started = time.perf_counter()
         with TRACER.span("fleet.acquire_trace", kernel=cell.kernel,
                          subject=cell.subject):
             trace = self._trace_for(cell)
+        self.acquire_seconds += time.perf_counter() - acquire_started
         session = IncrementalSession(
             trace, max_instructions=self.recipe.pipeline_cap)
         self._sessions[key] = session
@@ -181,7 +196,9 @@ class FleetWorker:
 
     def _execute(self, cell):
         session = self._session_for(cell)
+        timing_started = time.perf_counter()
         result = session.run(cell.config)
+        self.uarch_seconds += time.perf_counter() - timing_started
         power = shared_power_model(cell.config).evaluate(result).total
         return {
             "schema": RESULT_SCHEMA_VERSION,
@@ -321,6 +338,11 @@ class FleetWorker:
             "executed": self.executed,
             "stolen": self.stolen,
             "wall_seconds": round(time.perf_counter() - started, 6),
+            # Where the wall went: functional acquisition vs pipeline
+            # timing (mirrors the sim.acquire_seconds/uarch.time_seconds
+            # journal counters, but attributed per worker).
+            "sim_acquire_seconds": round(self.acquire_seconds, 6),
+            "uarch_time_seconds": round(self.uarch_seconds, 6),
         }
         self._write_summary(summary)
         emit_event("fleet", event="worker_end", **summary)

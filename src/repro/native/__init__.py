@@ -1,0 +1,19 @@
+"""Shared native-code toolchain for the C-compiled fast paths."""
+
+from repro.native.toolchain import (
+    cache_dir,
+    compile_cached,
+    enabled,
+    load_library,
+    probe,
+    reset,
+)
+
+__all__ = [
+    "cache_dir",
+    "compile_cached",
+    "enabled",
+    "load_library",
+    "probe",
+    "reset",
+]

@@ -78,10 +78,13 @@ class FunctionalSimulator:
 
     ``backend`` selects the execution engine: ``interp`` is this
     module's per-instruction reference loop, ``turbo`` the
-    block-compiling backend in :mod:`repro.sim.turbo`, and ``auto``
-    (the default, also settable via ``REPRO_SIM_BACKEND``) picks turbo
-    for any program large enough to amortize codegen.  Both backends
-    are bit-identical; the choice only affects wall time.
+    block-compiling Python backend in :mod:`repro.sim.turbo`,
+    ``native`` the C-compiled engine in :mod:`repro.sim.native`, and
+    ``auto`` (the default, also settable via ``REPRO_SIM_BACKEND``)
+    picks the fastest engine that can take the program — native when
+    the toolchain is available, else turbo, else (below the codegen
+    amortization threshold) the interpreter.  All backends are
+    bit-identical; the choice only affects wall time.
     """
 
     def __init__(self, program, memory_size=None, backend=None):
@@ -126,6 +129,11 @@ class FunctionalSimulator:
         from repro.sim import turbo
         resolved = turbo.resolve_backend(
             backend if backend is not None else self.backend, self.program)
+        if resolved == "native":
+            from repro.sim import native
+            if native.engine_for(self.program) is not None:
+                return native.run_native(self, max_instructions, trace)
+            resolved = "turbo"  # no toolchain / untranslatable: fall back
         if resolved == "turbo":
             return turbo.run_turbo(self, max_instructions, trace)
         return self._run_interp(max_instructions, trace)
@@ -436,6 +444,9 @@ class FunctionalSimulator:
             throughput = executed / elapsed / 1e6 if elapsed > 0 else 0.0
             REGISTRY.counter("sim.instructions").inc(executed)
             REGISTRY.counter("sim.runs").inc()
+            # A counter (not a gauge) so per-process journal deltas and
+            # fleet worker summaries can attribute acquisition time.
+            REGISTRY.counter("sim.acquire_seconds").inc(elapsed)
             REGISTRY.gauge("sim.mips").set(throughput)
             REGISTRY.gauge(f"sim.mips.{backend}").set(throughput)
             _LOG.debug("sim.run", program=self.program.name,

@@ -70,26 +70,48 @@ REGION_LIMIT = 32
 #: and everything smaller is a test scaffold or a throwaway snippet.
 AUTO_MIN_STATIC = 16
 
+#: Environment variable overriding :data:`AUTO_MIN_STATIC` (static
+#: instruction count below which ``auto`` stays on the interpreter).
+ENV_AUTO_THRESHOLD = "REPRO_SIM_AUTO_THRESHOLD"
+
 #: Environment variable selecting the default backend.
 ENV_BACKEND = "REPRO_SIM_BACKEND"
 
-#: Recognized backend selectors.
-BACKENDS = ("auto", "turbo", "interp")
+#: Recognized backend selectors, fastest resolved tier first.
+BACKENDS = ("auto", "native", "turbo", "interp")
 
 _M32 = 0xFFFFFFFF
+
+
+def _auto_min_static(environ):
+    """The effective ``auto`` interpreter threshold (env-tunable)."""
+    raw = environ.get(ENV_AUTO_THRESHOLD, "").strip()
+    if not raw:
+        return AUTO_MIN_STATIC
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"invalid {ENV_AUTO_THRESHOLD}={raw!r}; expected an integer "
+            "static-instruction threshold") from None
 
 
 def resolve_backend(backend, program=None, environ=None):
     """Resolve a backend selector to a concrete backend name.
 
     ``backend`` may be ``None`` (consult the ``REPRO_SIM_BACKEND``
-    environment variable, default ``auto``), ``auto``, ``turbo``, or
-    ``interp``.  ``auto`` picks ``turbo`` unless the program is smaller
-    than :data:`AUTO_MIN_STATIC` static instructions, where codegen
-    warm-up would dominate.
+    environment variable, default ``auto``), ``auto``, ``native``,
+    ``turbo``, or ``interp``.  ``auto`` resolves fastest-first: programs
+    smaller than the threshold (:data:`AUTO_MIN_STATIC`, tunable via
+    ``REPRO_SIM_AUTO_THRESHOLD``) stay on the interpreter where codegen
+    warm-up would dominate; otherwise ``native`` when the C engine can
+    take the program (``REPRO_NATIVE`` on, compiler present,
+    translatable), else ``turbo``.  An explicit ``native`` request on a
+    host without the toolchain still resolves to ``native`` — the run
+    itself falls back to turbo, keeping semantics identical.
     """
+    environ = os.environ if environ is None else environ
     if backend is None:
-        environ = os.environ if environ is None else environ
         backend = environ.get(ENV_BACKEND, "").strip().lower() or "auto"
     if backend not in BACKENDS:
         raise ValueError(
@@ -97,8 +119,13 @@ def resolve_backend(backend, program=None, environ=None):
             f"{', '.join(BACKENDS)} (see REPRO_SIM_BACKEND)")
     if backend != "auto":
         return backend
-    if program is not None and len(program.instructions) < AUTO_MIN_STATIC:
+    if (program is not None
+            and len(program.instructions) < _auto_min_static(environ)):
         return "interp"
+    if program is not None:
+        from repro.sim import native
+        if native.usable(program):
+            return "native"
     return "turbo"
 
 

@@ -10,11 +10,12 @@ arrays with *no* per-instruction Python anywhere.
 This module embeds that C source (an exact port of
 ``sweep._interpreted_range``, reviewed side by side and asserted
 equivalent by the corpus differential suite), compiles it once per
-machine with the system C compiler into a content-addressed shared
-library under the repro cache dir, and exposes it through ctypes.  No
-third-party packages, no CPython API: plain arrays in, mutated state
-out, so the same packed state can flow between the Python kernels, the
-interpreted tail, and the native loop mid-trace.
+machine through the shared :mod:`repro.native` toolchain into a
+content-addressed shared library under the repro cache dir, and
+exposes it through ctypes.  No third-party packages, no CPython API:
+plain arrays in, mutated state out, so the same packed state can flow
+between the Python kernels, the interpreted tail, and the native loop
+mid-trace.
 
 Everything degrades gracefully: no C compiler, a failed compile, or
 ``REPRO_NATIVE=off`` simply means :func:`available` is False and the
@@ -23,21 +24,12 @@ fast-forward.  The semantics are identical either way; only the wall
 time differs.
 """
 
-import contextlib
 import ctypes
-import hashlib
-import os
-import subprocess
-import tempfile
 
 import numpy as np
 
 from repro.isa.instructions import IClass
-from repro.obs.logging import get_logger
-
-_LOG = get_logger("repro.uarch.native")
-
-_FALSY = {"0", "off", "false", "no", "disabled"}
+from repro.native import toolchain
 
 #: The class codes are baked into the C source; fail loudly at import
 #: if the ISA enumeration ever drifts.
@@ -233,75 +225,32 @@ _U8 = ctypes.POINTER(ctypes.c_uint8)
 _RUN_RANGE = None
 
 
-def _enabled():
-    return os.environ.get("REPRO_NATIVE", "").strip().lower() not in _FALSY
-
-
-def _cache_dir():
-    from repro.exec.store import default_cache_dir
-    return os.path.join(default_cache_dir(), "native")
-
-
-def _compile_library():
-    """Build (or reuse) the content-addressed shared library; its path.
-
-    Keyed by source hash so any edit to the C loop rebuilds cleanly;
-    concurrent builders race benignly through a temp-file rename.
-    """
-    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
-    directory = _cache_dir()
-    library = os.path.join(directory, f"sweeploop-{digest}.so")
-    if os.path.exists(library):
-        return library
-    os.makedirs(directory, exist_ok=True)
-    fd, source_path = tempfile.mkstemp(suffix=".c", dir=directory)
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(_C_SOURCE)
-        staged = source_path[:-2] + ".so"
-        subprocess.run(
-            ["cc", "-O2", "-shared", "-fPIC", "-o", staged, source_path],
-            check=True, capture_output=True, timeout=120)
-        os.replace(staged, library)
-    finally:
-        for leftover in (source_path, source_path[:-2] + ".so"):
-            if os.path.exists(leftover):
-                with contextlib.suppress(OSError):
-                    os.remove(leftover)
-    return library
-
-
 def _load():
     """The ctypes entry point, probing/compiling on first use."""
     global _RUN_RANGE
     if _RUN_RANGE is not None:
         return _RUN_RANGE or None
-    if not _enabled():
+    library = toolchain.load_library(_C_SOURCE, "sweeploop")
+    if library is None:
         _RUN_RANGE = False
         return None
-    try:
-        library = ctypes.CDLL(_compile_library())
-        run_range = library.repro_run_range
-        run_range.restype = ctypes.c_int64
-        run_range.argtypes = [
-            ctypes.c_int64, ctypes.c_int64,                    # low, high
-            _I64,                                              # pcs
-            _I32, _I32, _I32, _I32, _I32,                      # static
-            _I64,                                              # latencies
-            _I64, _I64, ctypes.c_int64,                        # iacc
-            _I64, _I64, ctypes.c_int64,                        # dacc
-            _I64, _U8, _U8, ctypes.c_int64,                    # branches
-            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
-            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
-            ctypes.c_int64,                                    # config
-            _I64, _I64,                                        # pools
-            _I64, _I64, _I64, _I64, _I64, _I64,                # state
-        ]
-        _RUN_RANGE = run_range
-    except (OSError, subprocess.SubprocessError, ValueError) as exc:
-        _LOG.warning("native.unavailable", error=str(exc))
-        _RUN_RANGE = False
-        return None
+    run_range = library.repro_run_range
+    run_range.restype = ctypes.c_int64
+    run_range.argtypes = [
+        ctypes.c_int64, ctypes.c_int64,                    # low, high
+        _I64,                                              # pcs
+        _I32, _I32, _I32, _I32, _I32,                      # static
+        _I64,                                              # latencies
+        _I64, _I64, ctypes.c_int64,                        # iacc
+        _I64, _I64, ctypes.c_int64,                        # dacc
+        _I64, _U8, _U8, ctypes.c_int64,                    # branches
+        ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+        ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+        ctypes.c_int64,                                    # config
+        _I64, _I64,                                        # pools
+        _I64, _I64, _I64, _I64, _I64, _I64,                # state
+    ]
+    _RUN_RANGE = run_range
     return _RUN_RANGE
 
 
@@ -314,6 +263,7 @@ def reset():
     """Forget the probe result (tests toggling REPRO_NATIVE)."""
     global _RUN_RANGE
     _RUN_RANGE = None
+    toolchain.reset()
 
 
 def _static_columns(columns):

@@ -49,7 +49,8 @@ import numpy as np
 
 from repro.isa.columns import columns_for
 from repro.isa.instructions import IClass
-from repro.sim.trace import write_npz
+from repro.sim.trace import (TraceRef, _column_bytes,
+                             combine_column_digests, write_npz)
 from repro.obs.journal import emit_event
 from repro.obs.logging import get_logger
 from repro.obs.metrics import REGISTRY
@@ -91,6 +92,7 @@ _POOL_NAMES = ("ialu", "imul", "falu", "fmul", "mem")
 _INT_STATS = (
     "grids", "configs", "instructions",
     "digests_built", "digests_reused", "digests_loaded", "digests_saved",
+    "digests_streamed",
     "cache_banks_built", "cache_banks_reused", "cache_banks_loaded",
     "cache_banks_saved",
     "pred_banks_built", "pred_banks_reused", "pred_banks_loaded",
@@ -203,7 +205,7 @@ class TraceDigest:
     so repeated sweeps over the same trace share everything.
     """
 
-    def __init__(self, trace, _restored=None):
+    def __init__(self, trace, _restored=None, _prebuilt=None):
         self.trace = trace
         self.static = _static_tables(trace.program)
         self.n = len(trace)
@@ -225,6 +227,14 @@ class TraceDigest:
         self._persisted = False
         if _restored is not None:
             self._restore(*_restored)
+        elif _prebuilt is not None:
+            # Event streams accumulated chunk-by-chunk by the streaming
+            # acquisition path; only the visit derivation (cheap, over
+            # the retained pcs column) remains.
+            for name in ("b_pos", "b_pcs", "b_taken", "m_pos", "m_addrs",
+                         "masks_agree"):
+                setattr(self, name, _prebuilt[name])
+            self._derive_visits()
         else:
             self._build()
 
@@ -618,6 +628,100 @@ def _persist_digest(digest, store):
     }
     store.save(key, meta, {"digest.npz": _npz_writer(arrays)})
     _note("digests_saved")
+
+
+class StreamingDigestBuilder:
+    """Accumulates a :class:`TraceDigest` from columnar trace chunks.
+
+    A sink for :func:`repro.sim.native.stream_trace`: each ``feed``
+    folds one chunk into the digest's event streams (branch positions
+    and outcomes, memory positions and addresses) and the per-column
+    content hashes, keeping only the ``pcs`` column whole.  ``finish``
+    yields a digest bound to a :class:`~repro.sim.trace.TraceRef` whose
+    content digest — and therefore every store key — matches the
+    materialized trace's exactly, without a ``DynamicTrace`` ever
+    existing.
+    """
+
+    def __init__(self, program):
+        self.program = program
+        self.static = _static_tables(program)
+        self._pcs_parts = []
+        self._b_pos, self._b_taken = [], []
+        self._m_pos, self._m_addrs = [], []
+        self._offset = 0
+        self._masks_agree = True
+        self._hashers = [hashlib.sha256() for _ in range(3)]
+
+    def feed(self, pcs, addrs, taken):
+        for hasher, column in zip(self._hashers, (pcs, addrs, taken)):
+            hasher.update(_column_bytes(column))
+        pcs64 = pcs.astype(np.int64)
+        branch_mask = taken >= 0
+        b_local = np.nonzero(branch_mask)[0]
+        self._b_pos.append(b_local + self._offset)
+        self._b_taken.append(taken[b_local] == 1)
+        m_local = np.nonzero(self.static.is_mem[pcs64])[0]
+        self._m_pos.append(m_local + self._offset)
+        self._m_addrs.append(addrs[m_local].astype(np.int64))
+        if self._masks_agree:
+            self._masks_agree = bool(np.array_equal(
+                branch_mask, self.static.is_cond[pcs64]))
+        self._pcs_parts.append(pcs64)
+        self._offset += len(pcs)
+
+    def _concat(self, parts, dtype):
+        if parts:
+            return np.concatenate(parts)
+        return np.zeros(0, dtype=dtype)
+
+    def finish(self):
+        """The completed (TraceRef-bound) digest, cached on the ref."""
+        pcs = self._concat(self._pcs_parts, np.int64)
+        content = combine_column_digests(
+            *(hasher.hexdigest() for hasher in self._hashers))
+        ref = TraceRef(self.program, pcs, content)
+        b_pos = self._concat(self._b_pos, np.int64)
+        prebuilt = {
+            "b_pos": b_pos,
+            "b_pcs": pcs[b_pos],
+            "b_taken": self._concat(self._b_taken, bool),
+            "m_pos": self._concat(self._m_pos, np.int64),
+            "m_addrs": self._concat(self._m_addrs, np.int64),
+            "masks_agree": self._masks_agree,
+        }
+        digest = TraceDigest(ref, _prebuilt=prebuilt)
+        _note("digests_streamed")
+        ref._sweep_digest = digest
+        return digest
+
+
+def acquire_trace_digest(program, max_instructions=50_000_000,
+                         store=None, backend=None):
+    """Acquire a sweep-ready trace digest for ``program``.
+
+    The default acquisition path for fleet workers and incremental
+    sessions: when the native engine can take the program, execution
+    streams columnar chunks straight into a
+    :class:`StreamingDigestBuilder` and the full trace never exists;
+    otherwise the trace is materialized through the resolved backend
+    and digested conventionally.  Either way the result is
+    interchangeable — identical content digest, store keys, and tables.
+    """
+    from repro.sim import native as sim_native
+    from repro.sim.functional import FunctionalSimulator, run_program
+    from repro.sim.turbo import resolve_backend
+    resolved = resolve_backend(backend, program)
+    if resolved == "native" and sim_native.engine_for(program) is not None:
+        with span("sim.run", program=program.name, backend="native"):
+            builder = StreamingDigestBuilder(program)
+            simulator = FunctionalSimulator(program, backend="native")
+            sim_native.stream_trace(simulator, max_instructions,
+                                    builder.feed)
+        return builder.finish()
+    trace = run_program(program, max_instructions=max_instructions,
+                        trace=True, backend=resolved)
+    return trace_digest(trace, store)
 
 
 def _cache_bank_for(digest, config, store):
@@ -1550,6 +1654,7 @@ def _run_config(digest, config, cache_bank, pred_bank, total,
         # feeding the pipeline.* dashboards whichever engine times them.
         REGISTRY.counter("pipeline.instructions").inc(total)
         REGISTRY.counter("pipeline.runs").inc()
+        REGISTRY.counter("uarch.time_seconds").inc(result.wall_seconds)
         REGISTRY.gauge("pipeline.sim_mips").set(result.simulated_mips)
     return result
 

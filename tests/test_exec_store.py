@@ -74,7 +74,7 @@ class TestRoundTrip:
 
     def test_sim_backend_recorded_and_round_tripped(self, store):
         cold = build(store)
-        assert cold.sim_backend in ("turbo", "interp")
+        assert cold.sim_backend in ("native", "turbo", "interp")
         warm = build(store)
         assert store.stats()["hits"] == 1
         assert warm.sim_backend == cold.sim_backend

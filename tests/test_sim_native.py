@@ -1,0 +1,193 @@
+"""Tests for the C-compiled native functional engine and its streaming
+consumers: translation gating, engine caching, chunked emission, and
+chunked-vs-materialized digest/profile parity.
+
+Differential interp-vs-native execution equivalence (traces, registers,
+memory, errors, heartbeats) lives in ``test_sim_turbo.py``, which
+parametrizes the whole suite over every backend.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.profiler import (
+    ChunkedWorkloadProfiler,
+    WorkloadProfiler,
+    profile_program,
+)
+from repro.isa import assemble
+from repro.native import toolchain
+from repro.sim import native
+from repro.sim.functional import FunctionalSimulator, run_program
+from repro.sim.trace import TraceRef
+from repro.uarch import BASE_CONFIG
+from repro.uarch.sweep import (
+    StreamingDigestBuilder,
+    acquire_trace_digest,
+    simulate_pipeline_sweep,
+    trace_digest,
+)
+from repro.workloads import build_workload
+
+needs_native = pytest.mark.skipif(not native.available(),
+                                  reason="no working C toolchain")
+
+LOOP_SOURCE = """
+    .text
+    li r5, 200
+    li r6, 0
+loop:
+    addi r6, r6, 3
+    addi r5, r5, -1
+    bne r5, r0, loop
+    halt
+"""
+
+
+def loop_program():
+    return assemble(LOOP_SOURCE, name="native-loop")
+
+
+class TestTranslationGate:
+    def test_corpus_kernel_translatable(self):
+        assert native.translatable(build_workload("fft"))
+
+    def test_gate_result_cached_on_columns(self):
+        program = loop_program()
+        assert native.translatable(program)
+        from repro.isa.columns import columns_for
+        assert columns_for(program).derived["native_sim_ok"] is True
+
+    def test_static_size_gate(self, monkeypatch):
+        monkeypatch.setattr(native, "MAX_STATIC", 3)
+        assert not native._translatable(loop_program())
+
+    def test_fp_register_as_int_operand_rejected(self):
+        # Hand-built addi whose source is an FP register: no C template
+        # exists for the mixed-file form, so the program is rejected.
+        from repro.isa import Instruction, Program
+        program = Program(
+            [Instruction("addi", rd=5, rs1=40, imm=1),
+             Instruction("halt")], name="mixed-files")
+        assert not native._translatable(program)
+
+
+@needs_native
+class TestGeneratedSource:
+    def test_deterministic(self):
+        program = loop_program()
+        assert native.generate_source(program) \
+            == native.generate_source(program)
+
+    def test_shape(self):
+        source = native.generate_source(loop_program())
+        assert "int64_t repro_sim_run" in source
+        assert "dispatch:" in source
+        # One dispatch case and one body label per static instruction.
+        n = len(loop_program().instructions)
+        for pc in range(n):
+            assert f"case {pc}: goto I{pc};" in source
+            assert f"I{pc}:" in source
+
+
+@needs_native
+class TestEngineCache:
+    def test_engine_cached_per_program(self):
+        program = loop_program()
+        first = native.engine_for(program)
+        assert first is not None
+        assert native.engine_for(program) is first
+
+    def test_gated_off_means_no_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        native.reset()
+        try:
+            assert not native.available()
+            assert native.engine_for(loop_program()) is None
+        finally:
+            native.reset()
+
+
+@needs_native
+class TestStreaming:
+    def test_chunked_stream_concatenates_to_run_trace(self):
+        program = build_workload("adpcm")
+        reference = run_program(program, backend="interp")
+        chunks = []
+        simulator = FunctionalSimulator(program, backend="native")
+        executed = native.stream_trace(
+            simulator, 5_000_000,
+            lambda pcs, addrs, taken: chunks.append(
+                (pcs.copy(), addrs.copy(), taken.copy())),
+            chunk_events=997)
+        assert executed == len(reference)
+        assert len(chunks) > 1  # the chunk size actually chunked
+        assert all(len(pcs) <= 997 for pcs, _, _ in chunks)
+        np.testing.assert_array_equal(
+            np.concatenate([pcs for pcs, _, _ in chunks]), reference.pcs)
+        np.testing.assert_array_equal(
+            np.concatenate([addrs for _, addrs, _ in chunks]),
+            reference.addrs)
+        np.testing.assert_array_equal(
+            np.concatenate([taken for _, _, taken in chunks]),
+            reference.taken)
+
+    def test_streamed_digest_matches_materialized(self):
+        program = build_workload("qsort")
+        trace = run_program(program, backend="interp")
+        reference = trace_digest(trace, store=None)
+        builder = StreamingDigestBuilder(program)
+        step = 1013
+        for start in range(0, len(trace), step):
+            builder.feed(trace.pcs[start:start + step],
+                         trace.addrs[start:start + step],
+                         trace.taken[start:start + step])
+        streamed = builder.finish()
+        assert isinstance(streamed.trace, TraceRef)
+        assert streamed.trace.content_digest() == trace.content_digest()
+        for name in ("b_pos", "b_pcs", "b_taken", "m_pos", "m_addrs",
+                     "pcs", "visit_starts", "visit_blocks"):
+            np.testing.assert_array_equal(getattr(streamed, name),
+                                          getattr(reference, name),
+                                          err_msg=name)
+        assert streamed.masks_agree == reference.masks_agree
+        assert streamed.blocks_ok == reference.blocks_ok
+
+    def test_acquired_digest_times_identically(self):
+        program = build_workload("crc32")
+        trace = run_program(program, backend="interp")
+        [reference] = simulate_pipeline_sweep(trace, [BASE_CONFIG])
+        digest = acquire_trace_digest(program)
+        assert isinstance(digest.trace, TraceRef)
+        [result] = simulate_pipeline_sweep(digest.trace, [BASE_CONFIG])
+        expected = dict(vars(reference))
+        got = dict(vars(result))
+        expected.pop("wall_seconds", None)
+        got.pop("wall_seconds", None)
+        assert got == expected
+
+    def test_profile_program_streams_and_matches(self):
+        program = build_workload("susan")
+        trace = run_program(program, backend="interp")
+        reference = WorkloadProfiler().profile(trace)
+        streamed = profile_program(program)
+        assert streamed.to_dict() == reference.to_dict()
+
+
+class TestChunkedProfilerUnit:
+    def test_rejects_mid_block_start(self, loop_nest_trace):
+        profiler = ChunkedWorkloadProfiler(loop_nest_trace.program)
+        with pytest.raises(ValueError, match="block leader"):
+            profiler.feed(loop_nest_trace.pcs[1:],
+                          loop_nest_trace.addrs[1:],
+                          loop_nest_trace.taken[1:])
+
+    @pytest.mark.parametrize("step", [1, 7, 97, 10_000_000])
+    def test_chunked_equals_one_pass(self, loop_nest_trace, step):
+        reference = WorkloadProfiler().profile(loop_nest_trace)
+        profiler = ChunkedWorkloadProfiler(loop_nest_trace.program)
+        for start in range(0, len(loop_nest_trace), step):
+            profiler.feed(loop_nest_trace.pcs[start:start + step],
+                          loop_nest_trace.addrs[start:start + step],
+                          loop_nest_trace.taken[start:start + step])
+        assert profiler.finish().to_dict() == reference.to_dict()

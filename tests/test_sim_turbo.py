@@ -1,7 +1,10 @@
-"""Backend differential-equivalence suite: turbo vs the interpreter.
+"""Backend differential-equivalence suite: turbo/native vs the interpreter.
 
-The block-compiling backend (`repro.sim.turbo`) promises *bit-identity*
-with the reference interpreter.  This suite enforces the whole contract:
+The accelerated backends — the block-compiling Python backend
+(`repro.sim.turbo`) and the C-compiled engine (`repro.sim.native`) —
+promise *bit-identity* with the reference interpreter.  This suite
+enforces the whole contract, parametrized over every backend the host
+can run:
 
 * identical trace arrays, final registers, memory images, and retired
   counts on all 23 corpus kernels and a synthesized clone;
@@ -9,7 +12,9 @@ with the reference interpreter.  This suite enforces the whole contract:
   a cap that lands exactly on a translation-unit boundary), memory
   range errors, and pc-out-of-range context;
 * identical heartbeat telemetry, including the edge case where the
-  heartbeat boundary coincides with ``max_instructions``.
+  heartbeat boundary coincides with ``max_instructions``;
+* graceful fallback: explicit ``native`` still runs (on turbo) when the
+  toolchain is gated off or there is no C compiler.
 
 It doubles as the tier-1 CI gate for codegen regressions.
 """
@@ -23,6 +28,7 @@ import pytest
 from repro.isa import assemble
 from repro.isa.instructions import Instruction
 from repro.isa.program import Program
+from repro.native import toolchain
 from repro.obs import logging as obslog
 from repro.sim import (
     BACKENDS,
@@ -32,10 +38,15 @@ from repro.sim import (
     run_program,
 )
 from repro.sim import functional
+from repro.sim import native
 from repro.sim.turbo import AUTO_MIN_STATIC, turbo_program
 from repro.workloads import build_workload, workload_names
 
 KERNELS = workload_names()
+
+#: The accelerated backends this host can differentially test against
+#: the interpreter.  ``native`` joins when a C compiler is present.
+DIFF_BACKENDS = ["turbo"] + (["native"] if native.available() else [])
 
 
 def _run(program, backend, max_instructions=5_000_000, trace=True):
@@ -44,17 +55,17 @@ def _run(program, backend, max_instructions=5_000_000, trace=True):
     return simulator, result
 
 
-def assert_equivalent(program, max_instructions=5_000_000):
-    """Run both backends and compare every architected observable."""
+def assert_equivalent(program, backend, max_instructions=5_000_000):
+    """Run interp + ``backend`` and compare every architected observable."""
     interp, interp_trace = _run(program, "interp", max_instructions)
-    turbo, turbo_trace = _run(program, "turbo", max_instructions)
-    assert np.array_equal(interp_trace.pcs, turbo_trace.pcs)
-    assert np.array_equal(interp_trace.addrs, turbo_trace.addrs)
-    assert np.array_equal(interp_trace.taken, turbo_trace.taken)
-    assert interp.regs == turbo.regs
-    assert bytes(interp.memory.data) == bytes(turbo.memory.data)
-    assert interp.instructions_executed == turbo.instructions_executed
-    assert interp.halted and turbo.halted
+    fast, fast_trace = _run(program, backend, max_instructions)
+    assert np.array_equal(interp_trace.pcs, fast_trace.pcs)
+    assert np.array_equal(interp_trace.addrs, fast_trace.addrs)
+    assert np.array_equal(interp_trace.taken, fast_trace.taken)
+    assert interp.regs == fast.regs
+    assert bytes(interp.memory.data) == bytes(fast.memory.data)
+    assert interp.instructions_executed == fast.instructions_executed
+    assert interp.halted and fast.halted
 
 
 # ----------------------------------------------------------------------
@@ -64,6 +75,7 @@ class TestResolveBackend:
     def test_explicit_choices_pass_through(self):
         assert resolve_backend("turbo") == "turbo"
         assert resolve_backend("interp") == "interp"
+        assert resolve_backend("native") == "native"
 
     def test_env_var_consulted_when_unset(self):
         assert resolve_backend(None, environ={"REPRO_SIM_BACKEND":
@@ -71,15 +83,45 @@ class TestResolveBackend:
         assert resolve_backend(None, environ={"REPRO_SIM_BACKEND":
                                               " TURBO "}) == "turbo"
 
-    def test_auto_prefers_turbo_for_real_programs(self):
+    def test_auto_resolution_order_for_real_programs(self):
+        # Resolution order is native (when usable) then turbo; the
+        # interpreter only for programs below the codegen threshold.
         program = build_workload("crc32")
-        assert resolve_backend("auto", program) == "turbo"
-        assert resolve_backend(None, program, environ={}) == "turbo"
+        expected = "native" if native.usable(program) else "turbo"
+        assert resolve_backend("auto", program) == expected
+        assert resolve_backend(None, program, environ={}) == expected
+
+    def test_auto_falls_back_to_turbo_when_native_gated_off(
+            self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        native.reset()
+        try:
+            program = build_workload("crc32")
+            assert resolve_backend("auto", program) == "turbo"
+        finally:
+            native.reset()
 
     def test_auto_keeps_tiny_programs_on_the_interpreter(self):
         tiny = assemble("    .text\nmain:\n    halt\n", name="tiny")
         assert len(tiny.instructions) < AUTO_MIN_STATIC
         assert resolve_backend("auto", tiny) == "interp"
+
+    def test_auto_threshold_env_tunable(self):
+        # A threshold above the kernel's static size keeps auto on the
+        # interpreter; zero sends even a one-instruction program to a
+        # compiled backend.
+        program = build_workload("crc32")
+        high = {"REPRO_SIM_AUTO_THRESHOLD":
+                str(len(program.instructions) + 1)}
+        assert resolve_backend("auto", program, environ=high) == "interp"
+        tiny = assemble("    .text\nmain:\n    halt\n", name="tiny-thr")
+        low = {"REPRO_SIM_AUTO_THRESHOLD": "0"}
+        assert resolve_backend("auto", tiny, environ=low) != "interp"
+
+    def test_auto_threshold_rejects_garbage(self):
+        with pytest.raises(ValueError, match="REPRO_SIM_AUTO_THRESHOLD"):
+            resolve_backend("auto", build_workload("crc32"),
+                            environ={"REPRO_SIM_AUTO_THRESHOLD": "many"})
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown simulator backend"):
@@ -88,28 +130,87 @@ class TestResolveBackend:
             run_program(build_workload("crc32"), backend="bogus")
 
     def test_backends_tuple_is_the_cli_contract(self):
-        assert BACKENDS == ("auto", "turbo", "interp")
+        assert BACKENDS == ("auto", "native", "turbo", "interp")
+
+
+# ----------------------------------------------------------------------
+# Graceful fallback (REPRO_NATIVE off / no C compiler)
+# ----------------------------------------------------------------------
+FALLBACK_SOURCE = """
+    .text
+main:
+    li   r5, 0
+    li   r6, 200
+""" + "    addi r7, r7, 1\n" * 16 + """
+loop:
+    addi r5, r5, 3
+    blt  r5, r6, loop
+    halt
+"""
+
+
+class TestNativeFallback:
+    def test_explicit_native_runs_when_gated_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        native.reset()
+        try:
+            program = assemble(FALLBACK_SOURCE, name="gated-off")
+            assert not native.available()
+            assert_equivalent(program, "native")
+        finally:
+            native.reset()
+
+    def test_explicit_native_runs_without_a_compiler(self, monkeypatch,
+                                                     tmp_path):
+        # A fresh cache dir guarantees the probe really invokes the
+        # (nonexistent) compiler instead of reusing the session cache's
+        # probe library.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setattr(toolchain, "CC", ("repro-no-such-cc",))
+        native.reset()
+        try:
+            program = assemble(FALLBACK_SOURCE, name="no-cc")
+            assert not native.available()
+            assert resolve_backend("auto", program) == "turbo"
+            assert_equivalent(program, "native")
+        finally:
+            native.reset()
+
+    def test_untranslatable_program_falls_back(self):
+        # A hand-built program the translator rejects (integer opcode
+        # reading an FP register) still runs under backend=native.
+        instructions = [Instruction("addi", rd=5, rs1=40, imm=1)
+                        for _ in range(AUTO_MIN_STATIC + 1)]
+        instructions.append(Instruction("halt"))
+        program = Program(instructions, name="untranslatable")
+        assert not native.translatable(program)
+        assert resolve_backend("auto", program) == "turbo"
+        simulator, _ = _run(program, "native")
+        assert simulator.halted
 
 
 # ----------------------------------------------------------------------
 # Corpus-wide differential equivalence
 # ----------------------------------------------------------------------
 class TestCorpusEquivalence:
+    @pytest.mark.parametrize("backend", DIFF_BACKENDS)
     @pytest.mark.parametrize("name", KERNELS)
-    def test_kernel_bit_identical(self, name):
-        assert_equivalent(build_workload(name))
+    def test_kernel_bit_identical(self, name, backend):
+        assert_equivalent(build_workload(name), backend)
 
-    def test_clone_bit_identical(self, loop_nest_clone):
-        assert_equivalent(loop_nest_clone.program,
+    @pytest.mark.parametrize("backend", DIFF_BACKENDS)
+    def test_clone_bit_identical(self, loop_nest_clone, backend):
+        assert_equivalent(loop_nest_clone.program, backend,
                           max_instructions=2_000_000)
 
-    def test_traceless_run_matches(self, loop_nest_program):
+    @pytest.mark.parametrize("backend", DIFF_BACKENDS)
+    def test_traceless_run_matches(self, loop_nest_program, backend):
         interp, interp_count = _run(loop_nest_program, "interp",
                                     trace=False)
-        turbo, turbo_count = _run(loop_nest_program, "turbo", trace=False)
-        assert interp_count == turbo_count
-        assert interp.regs == turbo.regs
-        assert bytes(interp.memory.data) == bytes(turbo.memory.data)
+        fast, fast_count = _run(loop_nest_program, backend, trace=False)
+        assert interp_count == fast_count
+        assert interp.regs == fast.regs
+        assert bytes(interp.memory.data) == bytes(fast.memory.data)
 
     def test_codegen_is_cached_per_program(self, loop_nest_program):
         simulator = FunctionalSimulator(loop_nest_program)
@@ -133,28 +234,30 @@ def _error_from(program, backend, max_instructions=5_000_000):
     return excinfo.value
 
 
-def _same_error(program, max_instructions=5_000_000):
+def _same_error(program, backend, max_instructions=5_000_000):
     interp = _error_from(program, "interp", max_instructions)
-    turbo = _error_from(program, "turbo", max_instructions)
-    assert str(interp) == str(turbo)
-    assert interp.pc == turbo.pc
-    assert interp.instructions == turbo.instructions
-    assert interp.block == turbo.block
+    fast = _error_from(program, backend, max_instructions)
+    assert str(interp) == str(fast)
+    assert interp.pc == fast.pc
+    assert interp.instructions == fast.instructions
+    assert interp.block == fast.block
     return interp
 
 
+@pytest.mark.parametrize("backend", DIFF_BACKENDS)
 class TestErrorEquivalence:
     @pytest.mark.parametrize("cap", [1, 2, 7, 100, 12_345])
-    def test_cap_exceeded_mid_run(self, loop_nest_program, cap):
-        error = _same_error(loop_nest_program, max_instructions=cap)
+    def test_cap_exceeded_mid_run(self, loop_nest_program, cap, backend):
+        error = _same_error(loop_nest_program, backend,
+                            max_instructions=cap)
         assert "instruction cap exceeded" in str(error)
         assert error.instructions == cap + 1
 
-    def test_cap_exactly_on_unit_boundary(self):
+    def test_cap_exactly_on_unit_boundary(self, backend):
         # A 3-instruction loop body: every unit dispatch retires exactly
         # 3 instructions, so a cap that is a multiple of 3 is reached
         # exactly as a unit completes and exceeded on the next unit's
-        # first instruction — the accounting both backends must agree on.
+        # first instruction — the accounting all backends must agree on.
         program = assemble("""
     .text
 main:
@@ -164,20 +267,20 @@ loop:
     j    loop
 """, name="spin")
         for cap in (30, 31, 32):
-            error = _same_error(program, max_instructions=cap)
+            error = _same_error(program, backend, max_instructions=cap)
             assert error.instructions == cap + 1
 
-    def test_cap_reached_but_not_exceeded_is_clean(self):
+    def test_cap_reached_but_not_exceeded_is_clean(self, backend):
         # A cap of exactly the program's retired count: clean completion
-        # in both backends (the cap triggers only when *exceeded*).
+        # in every backend (the cap triggers only when *exceeded*).
         program = assemble(SPIN_SOURCE.format(iters=9), name="exact")
         reference, _ = _run(program, "interp")
         total = reference.instructions_executed
-        for backend in ("interp", "turbo"):
-            simulator, _ = _run(program, backend, max_instructions=total)
+        for chosen in ("interp", backend):
+            simulator, _ = _run(program, chosen, max_instructions=total)
             assert simulator.instructions_executed == total
 
-    def test_memory_out_of_range(self):
+    def test_memory_out_of_range(self, backend):
         program = assemble("""
     .text
 main:
@@ -186,11 +289,11 @@ main:
     halt
 """, name="oob")
         interp = _error_from(program, "interp")
-        turbo = _error_from(program, "turbo")
-        assert str(interp) == str(turbo)
+        fast = _error_from(program, backend)
+        assert str(interp) == str(fast)
         assert "lw out of range" in str(interp)
 
-    def test_pc_out_of_range_via_indirect_jump(self):
+    def test_pc_out_of_range_via_indirect_jump(self, backend):
         program = assemble("""
     .text
 main:
@@ -199,11 +302,11 @@ main:
     halt
 """, name="badjr")
         interp = _error_from(program, "interp")
-        turbo = _error_from(program, "turbo")
-        assert str(interp) == str(turbo)
+        fast = _error_from(program, backend)
+        assert str(interp) == str(fast)
         assert "pc out of range" in str(interp)
-        assert interp.pc == turbo.pc
-        assert interp.instructions == turbo.instructions
+        assert interp.pc == fast.pc
+        assert interp.instructions == fast.instructions
 
 
 # ----------------------------------------------------------------------
@@ -250,7 +353,7 @@ loop:
 
 
 class TestHeartbeatEquivalence:
-    @pytest.mark.parametrize("backend", ["interp", "turbo"])
+    @pytest.mark.parametrize("backend", ["interp"] + DIFF_BACKENDS)
     def test_heartbeat_fires_at_interval(self, log_sink, monkeypatch,
                                          backend):
         monkeypatch.setattr(functional, "HEARTBEAT_INTERVAL", 1000)
@@ -261,19 +364,21 @@ class TestHeartbeatEquivalence:
         assert [instructions for instructions, _pc in events] == [
             1000 * (i + 1) for i in range(len(events))]
 
-    def test_heartbeat_streams_identical(self, log_sink, monkeypatch):
+    @pytest.mark.parametrize("backend", DIFF_BACKENDS)
+    def test_heartbeat_streams_identical(self, log_sink, monkeypatch,
+                                         backend):
         monkeypatch.setattr(functional, "HEARTBEAT_INTERVAL", 997)
         program = assemble(SPIN_SOURCE.format(iters=5000), name="hb-diff")
         _, interp_trace = _run(program, "interp", max_instructions=500_000)
         interp_events = _heartbeats(log_sink)
         log_sink.truncate(0)
         log_sink.seek(0)
-        _, turbo_trace = _run(program, "turbo", max_instructions=500_000)
+        _, fast_trace = _run(program, backend, max_instructions=500_000)
         assert _heartbeats(log_sink) == interp_events
         assert interp_events  # the run is long enough to heartbeat
-        assert np.array_equal(interp_trace.pcs, turbo_trace.pcs)
+        assert np.array_equal(interp_trace.pcs, fast_trace.pcs)
 
-    @pytest.mark.parametrize("backend", ["interp", "turbo"])
+    @pytest.mark.parametrize("backend", ["interp"] + DIFF_BACKENDS)
     def test_heartbeat_boundary_equals_cap(self, log_sink, monkeypatch,
                                            backend):
         # next_heartbeat == max_instructions: the heartbeat at N retires
@@ -285,8 +390,9 @@ class TestHeartbeatEquivalence:
         events = _heartbeats(log_sink)
         assert [instructions for instructions, _pc in events] == [2000]
 
+    @pytest.mark.parametrize("backend", DIFF_BACKENDS)
     def test_heartbeat_boundary_equals_cap_identical(self, log_sink,
-                                                     monkeypatch):
+                                                     monkeypatch, backend):
         monkeypatch.setattr(functional, "HEARTBEAT_INTERVAL", 2000)
         program = assemble(SPIN_SOURCE.format(iters=2000),
                            name="hb-cap-diff")
@@ -294,8 +400,8 @@ class TestHeartbeatEquivalence:
         interp_events = _heartbeats(log_sink)
         log_sink.truncate(0)
         log_sink.seek(0)
-        turbo = _error_from(program, "turbo", max_instructions=2000)
-        assert str(interp) == str(turbo)
+        fast = _error_from(program, backend, max_instructions=2000)
+        assert str(interp) == str(fast)
         assert _heartbeats(log_sink) == interp_events
 
 
@@ -303,7 +409,7 @@ class TestHeartbeatEquivalence:
 # jal link-register regression (satellite: the rd=0 guard)
 # ----------------------------------------------------------------------
 class TestJalZeroLink:
-    @pytest.mark.parametrize("backend", ["interp", "turbo"])
+    @pytest.mark.parametrize("backend", ["interp"] + DIFF_BACKENDS)
     def test_jal_with_rd_zero_keeps_zero_hardwired(self, backend):
         # The assembler always links jal through r31; build the rd=0
         # encoding directly, as a synthesizer bug or hand-built program
@@ -318,7 +424,8 @@ class TestJalZeroLink:
         assert simulator.regs[0] == 0
         assert simulator.regs[5] == 7
 
-    def test_jal_links_through_real_register(self):
+    @pytest.mark.parametrize("backend", DIFF_BACKENDS)
+    def test_jal_links_through_real_register(self, backend):
         program = assemble("""
     .text
 main:
@@ -328,7 +435,7 @@ sub:
     jr   r31
 """, name="jal-link")
         interp, interp_trace = _run(program, "interp")
-        turbo, turbo_trace = _run(program, "turbo")
-        assert interp.regs == turbo.regs
+        fast, fast_trace = _run(program, backend)
+        assert interp.regs == fast.regs
         assert interp.regs[31] == program.text_base + 4
-        assert np.array_equal(interp_trace.pcs, turbo_trace.pcs)
+        assert np.array_equal(interp_trace.pcs, fast_trace.pcs)
